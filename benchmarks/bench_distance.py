@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the distance substrate (S4).
+
+Pins the costs the paper's complexity arguments rely on:
+
+* the closed-form ``ED``/``ÊD`` of Eq. (8) / Lemma 3 vs their
+  Monte-Carlo approximations (the basic-UK-means bottleneck);
+* the vectorized dataset-level distance kernels used by every
+  assignment step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_blobs_uncertain
+from repro.objects.distance import (
+    expected_distance_mc,
+    expected_distance_to_point,
+    expected_distances_to_points,
+    pairwise_squared_expected_distances,
+    squared_expected_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_blobs_uncertain(n_objects=300, n_clusters=3, seed=7)
+
+
+def test_ed_closed_form(benchmark, data):
+    obj = data[0]
+    point = np.zeros(data.dim)
+    benchmark.group = "ED-object-to-point"
+    benchmark(expected_distance_to_point, obj, point)
+
+
+@pytest.mark.parametrize("n_samples", [64, 512])
+def test_ed_monte_carlo(benchmark, data, n_samples):
+    obj = data[0]
+    point = np.zeros(data.dim)
+    benchmark.group = "ED-object-to-point"
+    benchmark(
+        expected_distance_mc, obj, point, n_samples=n_samples, seed=0
+    )
+
+
+def test_ehat_closed_form(benchmark, data):
+    benchmark.group = "ED-object-to-object"
+    benchmark(squared_expected_distance, data[0], data[1])
+
+
+def test_assignment_kernel(benchmark, data):
+    centers = data.mu_matrix[:10]
+    benchmark.group = "vectorized-kernels"
+    benchmark(expected_distances_to_points, data, centers)
+
+
+def test_pairwise_matrix(benchmark, data):
+    benchmark.group = "vectorized-kernels"
+    benchmark(pairwise_squared_expected_distances, data)

@@ -1,0 +1,74 @@
+"""Benchmark harness for Figure 4 (E3) — the efficiency comparison itself.
+
+pytest-benchmark's timing table IS the reproduction artifact here: one
+bench per (dataset, algorithm) pair over the paper's slow/fast rosters,
+grouped per dataset so the relative ordering (slow group orders of
+magnitude above UCPC; UCPC ~ UK-means ~ MMVar; pruning variants between
+bUKM and UKM) is directly visible in the output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import UncertaintyGenerator, make_benchmark, make_microarray
+from repro.experiments import FAST_ROSTER, SLOW_ROSTER, build_algorithm
+
+#: Figure 4's roster with UCPC appended to both groups, deduplicated.
+ALGORITHMS = list(dict.fromkeys(list(SLOW_ROSTER) + list(FAST_ROSTER) + ["UCPC"]))
+
+
+def _benchmark_dataset(name, bench_config):
+    if name in ("neuroblastoma", "leukaemia"):
+        return make_microarray(
+            name, scale=min(bench_config.scale * 0.2, 1.0), seed=bench_config.seed
+        )
+    points, labels = make_benchmark(
+        name, scale=bench_config.scale, seed=bench_config.seed
+    )
+    generator = UncertaintyGenerator(family="normal", spread=bench_config.spread)
+    return generator.uncertain_dataset(points, labels, seed=bench_config.seed)
+
+
+@pytest.fixture(scope="module")
+def abalone(bench_config):
+    return _benchmark_dataset("abalone", bench_config)
+
+
+@pytest.fixture(scope="module")
+def letter(bench_config):
+    return _benchmark_dataset("letter", bench_config)
+
+
+@pytest.fixture(scope="module")
+def neuroblastoma(bench_config):
+    return _benchmark_dataset("neuroblastoma", bench_config)
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_abalone_runtime(benchmark, abalone, algorithm_name, bench_config):
+    algorithm = build_algorithm(
+        algorithm_name, n_clusters=17, n_samples=bench_config.n_samples
+    )
+    benchmark.group = "figure4-abalone"
+    benchmark(algorithm.fit, abalone, seed=5)
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_letter_runtime(benchmark, letter, algorithm_name, bench_config):
+    algorithm = build_algorithm(
+        algorithm_name, n_clusters=10, n_samples=bench_config.n_samples
+    )
+    benchmark.group = "figure4-letter"
+    benchmark(algorithm.fit, letter, seed=5)
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_microarray_runtime(
+    benchmark, neuroblastoma, algorithm_name, bench_config
+):
+    algorithm = build_algorithm(
+        algorithm_name, n_clusters=10, n_samples=bench_config.n_samples
+    )
+    benchmark.group = "figure4-neuroblastoma"
+    benchmark(algorithm.fit, neuroblastoma, seed=5)

@@ -1,0 +1,58 @@
+"""Benchmark harness for Table 2 (E1) — accuracy on benchmark datasets.
+
+Times the Case-2 clustering step of every accuracy-roster algorithm on a
+representative benchmark workload, and regenerates a reduced Table 2
+end-to-end.  The accuracy numbers themselves are produced by
+``repro.experiments.run_table2`` (see EXPERIMENTS.md); the benches here
+pin the per-algorithm cost that the table's 50-run averaging multiplies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import UncertaintyGenerator, make_benchmark
+from repro.experiments import ACCURACY_ROSTER, build_algorithm, run_table2
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def workload(bench_config):
+    """Case-2 uncertain dataset for the 'ecoli' stand-in, Normal pdfs."""
+    points, labels = make_benchmark(
+        "ecoli", scale=max(bench_config.scale, 0.3), seed=bench_config.seed
+    )
+    generator = UncertaintyGenerator(family="normal", spread=bench_config.spread)
+    pair = generator.generate(points, labels, seed=bench_config.seed)
+    n_classes = int(max(labels)) + 1
+    return pair.uncertain, n_classes
+
+
+@pytest.mark.parametrize("algorithm_name", ACCURACY_ROSTER)
+def test_case2_clustering(benchmark, workload, algorithm_name, bench_config):
+    """One Case-2 clustering run per roster algorithm (Table 2's inner loop)."""
+    dataset, n_classes = workload
+    algorithm = build_algorithm(
+        algorithm_name, n_clusters=n_classes, n_samples=bench_config.n_samples
+    )
+    benchmark.group = "table2-case2-clustering"
+    benchmark(algorithm.fit, dataset, seed=7)
+
+
+def test_table2_end_to_end(benchmark, bench_config):
+    """Full reduced Table 2 (2 datasets x 2 pdfs x 3 algorithms)."""
+    config = ExperimentConfig(
+        scale=bench_config.scale,
+        n_runs=1,
+        seed=bench_config.seed,
+        n_samples=bench_config.n_samples,
+    )
+    benchmark.group = "table2-end-to-end"
+    report = benchmark(
+        run_table2,
+        config,
+        datasets=("iris", "glass"),
+        families=("uniform", "normal"),
+        algorithms=("UKM", "MMV", "UCPC"),
+    )
+    assert len(report.cells) == 12

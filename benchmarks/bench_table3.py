@@ -1,0 +1,61 @@
+"""Benchmark harness for Table 3 (E2) — Q on microarray stand-ins.
+
+Times one clustering + internal-criterion evaluation per roster
+algorithm on the Neuroblastoma stand-in, and a reduced Table 3
+regeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import make_microarray
+from repro.evaluation import internal_scores
+from repro.experiments import ACCURACY_ROSTER, build_algorithm, run_table3
+from repro.experiments.config import ExperimentConfig
+from repro.objects.distance import pairwise_squared_expected_distances
+
+
+@pytest.fixture(scope="module")
+def genes(bench_config):
+    scale = min(max(bench_config.scale * 0.2, 0.005), 1.0)
+    return make_microarray("neuroblastoma", scale=scale, seed=bench_config.seed)
+
+
+@pytest.fixture(scope="module")
+def distances(genes):
+    return pairwise_squared_expected_distances(genes)
+
+
+@pytest.mark.parametrize("algorithm_name", ACCURACY_ROSTER)
+def test_cluster_and_score(
+    benchmark, genes, distances, algorithm_name, bench_config
+):
+    """Clustering + Q evaluation per roster algorithm (Table 3's cell)."""
+    algorithm = build_algorithm(
+        algorithm_name, n_clusters=5, n_samples=bench_config.n_samples
+    )
+
+    def cell():
+        result = algorithm.fit(genes, seed=11)
+        return internal_scores(genes, result.labels, distances).quality
+
+    benchmark.group = "table3-cell"
+    quality = benchmark(cell)
+    assert -1.0 <= quality <= 1.0
+
+
+def test_table3_end_to_end(benchmark, bench_config):
+    """Reduced Table 3 (1 dataset x 2 cluster counts x 2 algorithms)."""
+    config = ExperimentConfig(
+        scale=0.005, n_runs=1, seed=bench_config.seed, n_samples=8
+    )
+    benchmark.group = "table3-end-to-end"
+    report = benchmark(
+        run_table3,
+        config,
+        datasets=("neuroblastoma",),
+        cluster_counts=(2, 5),
+        algorithms=("UKM", "UCPC"),
+    )
+    assert len(report.quality) == 4

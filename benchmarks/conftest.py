@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has a bench module here; sizes default to
+laptop scale (seconds per benchmark) and honour the ``REPRO_BENCH_SCALE``
+environment variable for larger runs:
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def bench_scale(default: float) -> float:
+    """Dataset scale for benchmarks, overridable via REPRO_BENCH_SCALE."""
+    value = os.environ.get("REPRO_BENCH_SCALE")
+    if value is None:
+        return default
+    return float(value)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Shared experiment configuration for benchmark runs."""
+    return ExperimentConfig(
+        scale=bench_scale(0.05), n_runs=1, seed=2012, n_samples=16
+    )

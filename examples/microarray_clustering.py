@@ -1,0 +1,53 @@
+"""Microarray scenario: clustering genes with probe-level uncertainty.
+
+Run:  python examples/microarray_clustering.py
+
+Reproduces the paper's "real data" workflow (Table 3) on a synthetic
+stand-in for the Neuroblastoma dataset: genes are uncertain objects with
+per-value Normal pdfs whose std shrinks with expression level (the
+multi-mgMOS signature).  Because no reference classification exists, the
+clusterings are compared with the internal criterion Q only — exactly as
+in the paper — across several cluster counts.
+"""
+
+from __future__ import annotations
+
+from repro import UCPC, MMVar, UKMeans, internal_scores, make_microarray
+from repro.objects.distance import pairwise_squared_expected_distances
+
+SEED = 33
+CLUSTER_COUNTS = (2, 5, 10)
+
+
+def main() -> None:
+    genes = make_microarray("neuroblastoma", scale=0.02, seed=SEED)
+    print(
+        f"synthetic Neuroblastoma stand-in: {len(genes)} genes x "
+        f"{genes.dim} tissue samples"
+    )
+    print(
+        "probe-level uncertainty: mean std "
+        f"{(genes.sigma2_matrix ** 0.5).mean():.3f} (higher on "
+        "low-expressed probes, as in multi-mgMOS)"
+    )
+
+    # Precompute the pairwise ÊD matrix once; Q reuses it per clustering.
+    distances = pairwise_squared_expected_distances(genes)
+
+    print(f"\n{'k':>3s}  {'UKM':>7s}  {'MMV':>7s}  {'UCPC':>7s}   (internal criterion Q)")
+    for k in CLUSTER_COUNTS:
+        row = []
+        for algo in (UKMeans(k), MMVar(k), UCPC(k)):
+            result = algo.fit(genes, seed=SEED)
+            q = internal_scores(genes, result.labels, distances).quality
+            row.append(q)
+        print(f"{k:3d}  {row[0]:+7.3f}  {row[1]:+7.3f}  {row[2]:+7.3f}")
+
+    print(
+        "\nHigher Q = tighter co-expression modules, better separated; "
+        "the paper's Table 3 reports the same comparison at full scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Moving-objects scenario: clustering a fleet with stale positions.
+
+Run:  python examples/moving_objects_fleet.py
+
+The paper's introduction motivates uncertain data with moving objects
+whose reported positions are inherently obsolete.  This example builds a
+fleet whose position uncertainty grows with per-object staleness and
+speed, standardizes it, clusters it with UCPC and UK-means, and checks
+run-to-run stability — showing the heterogeneous-variance regime where
+the U-centroid's variance term actually matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import UCPC, UKMeans, f_measure
+from repro.datagen import make_moving_objects
+from repro.evaluation import clustering_stability
+from repro.objects import UncertainStandardizer
+
+SEED = 5
+N_HUBS = 4
+
+
+def main() -> None:
+    fleet = make_moving_objects(
+        n_objects=240,
+        n_hubs=N_HUBS,
+        hub_radius=6.0,
+        max_speed=4.0,
+        max_staleness=5.0,
+        pdf="uniform",
+        seed=SEED,
+    )
+    variances = fleet.total_variances
+    print(
+        f"fleet: {len(fleet)} objects around {N_HUBS} hubs; position "
+        f"uncertainty spans {variances.min():.1f}..{variances.max():.1f} "
+        "(staleness-dependent)"
+    )
+
+    standardized = UncertainStandardizer().fit_transform(fleet)
+
+    print(f"\n{'algorithm':10s} {'F-measure':>10s} {'stability (ARI)':>16s}")
+    for algo in (UCPC(N_HUBS), UKMeans(N_HUBS)):
+        scores = [
+            f_measure(algo.fit(standardized, seed=s).labels, fleet.labels)
+            for s in range(5)
+        ]
+        stability = clustering_stability(
+            algo, standardized, n_runs=5, seed=SEED
+        )
+        print(
+            f"{algo.name:10s} {np.mean(scores):10.3f} "
+            f"{stability.mean_agreement:16.3f}"
+        )
+
+    print(
+        "\nStale objects have large reachability boxes; the U-centroid's "
+        "variance term (Theorem 3) lets UCPC price that uncertainty into "
+        "its assignments."
+    )
+
+
+if __name__ == "__main__":
+    main()

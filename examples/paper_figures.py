@@ -1,0 +1,113 @@
+"""Numerical walkthrough of the paper's Figures 1-3 and key identities.
+
+Run:  python examples/paper_figures.py
+
+Demonstrates, with concrete numbers:
+
+* Figure 1 — J_UK cannot distinguish clusters by how variance is
+  distributed (Proposition 1's construction);
+* Figure 2 — minimizing U-centroid variance alone prefers the *wrong*
+  cluster (Theorem 2's caveat), while J prefers the right one;
+* Figure 3 / Theorem 1 — realizations of a U-centroid are the means of
+  member realizations;
+* Propositions 2-3 — J_MM = J_UK/|C| and Ĵ = 2 J_UK on a random cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import UCentroid, UncertainObject
+from repro.clustering import j_hat, j_mm, j_uk, j_ucpc, sum_of_variances
+
+
+def uniform_cluster(centers, half_widths):
+    return [
+        UncertainObject.uniform_box([c], [h])
+        for c, h in zip(centers, half_widths)
+    ]
+
+
+def figure1() -> None:
+    print("=" * 70)
+    print("Figure 1 / Proposition 1 — J_UK is blind to variance placement")
+    print("=" * 70)
+    h = 0.6
+    h_prime = float(np.sqrt(h * h + 3.0))
+    cluster_a = uniform_cluster([0.0, 2.0], [h, h])
+    cluster_b = uniform_cluster([1.0, 1.0], [h_prime, h_prime])
+    print(f"cluster A: means (0, 2), half-widths {h:.2f}")
+    print(f"cluster B: means (1, 1), half-widths {h_prime:.2f}")
+    print(f"  J_UK(A) = {j_uk(cluster_a):.4f}   J_UK(B) = {j_uk(cluster_b):.4f}  <- equal!")
+    print(f"  sum of variances: A = {sum_of_variances(cluster_a):.4f}, "
+          f"B = {sum_of_variances(cluster_b):.4f}  <- differ by 2")
+    print(f"  J(A) = {j_ucpc(cluster_a):.4f}   J(B) = {j_ucpc(cluster_b):.4f}"
+          "  <- UCPC's J separates them\n")
+
+
+def figure2() -> None:
+    print("=" * 70)
+    print("Figure 2 / Theorem 2 — variance-only compactness picks wrong")
+    print("=" * 70)
+    far_low_var = uniform_cluster([-5.0, 5.0], [0.1, 0.1])
+    close_high_var = uniform_cluster([0.0, 0.2], [1.0, 1.0])
+    var_a = UCentroid(far_low_var).total_variance
+    var_b = UCentroid(close_high_var).total_variance
+    print("cluster (a): objects at -5 and +5, tiny variance")
+    print("cluster (b): objects at 0 and 0.2, large variance")
+    print(f"  sigma^2(U-centroid):  (a) = {var_a:.4f}  <  (b) = {var_b:.4f}")
+    print("  -> the variance-only criterion prefers (a), the WRONG cluster")
+    print(f"  J:  (a) = {j_ucpc(far_low_var):.4f}  >  (b) = {j_ucpc(close_high_var):.4f}")
+    print("  -> J correctly prefers the co-located cluster (b)\n")
+
+
+def figure3() -> None:
+    print("=" * 70)
+    print("Figure 3 / Theorem 1 — U-centroid realizations")
+    print("=" * 70)
+    cluster = [
+        UncertainObject.uniform_box([0.0, 0.0], [1.0, 0.5]),
+        UncertainObject.uniform_box([4.0, 1.0], [0.5, 1.0]),
+        UncertainObject.uniform_box([2.0, 4.0], [1.0, 1.0]),
+    ]
+    centroid = UCentroid(cluster)
+    print(f"three member regions -> centroid region {centroid.region}")
+    rng_draws = [obj.sample(3, seed=9) for obj in cluster]
+    means = np.mean(rng_draws, axis=0)
+    print("three joint member realizations and the induced centroid points:")
+    for t in range(3):
+        pts = [np.round(draw[t], 2) for draw in rng_draws]
+        print(f"  members {pts} -> centroid {np.round(means[t], 2)}")
+    inside = all(centroid.region.contains(means[t]) for t in range(3))
+    print(f"all induced centroid points inside the Theorem 1 region: {inside}\n")
+
+
+def propositions() -> None:
+    print("=" * 70)
+    print("Propositions 2-3 — the prior objectives collapse into J_UK")
+    print("=" * 70)
+    rng = np.random.default_rng(0)
+    cluster = [
+        UncertainObject.uniform_box(
+            rng.normal(0, 3, 2), rng.uniform(0.2, 1.5, 2)
+        )
+        for _ in range(6)
+    ]
+    juk = j_uk(cluster)
+    print(f"random cluster of {len(cluster)} objects:")
+    print(f"  J_UK          = {juk:.4f}")
+    print(f"  J_MM          = {j_mm(cluster):.4f}  (= J_UK/|C| = {juk / 6:.4f})")
+    print(f"  J-hat (mixed) = {j_hat(cluster):.4f}  (= 2 J_UK = {2 * juk:.4f})")
+    print(f"  J (UCPC)      = {j_ucpc(cluster):.4f}  (= sum_var/|C| + J_UK = "
+          f"{sum_of_variances(cluster) / 6 + juk:.4f})")
+
+
+def main() -> None:
+    figure1()
+    figure2()
+    figure3()
+    propositions()
+
+
+if __name__ == "__main__":
+    main()

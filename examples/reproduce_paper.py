@@ -1,0 +1,70 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Run:  python examples/reproduce_paper.py [--full]
+
+Default mode runs laptop-scaled versions of Table 2, Table 3, Figure 4
+and Figure 5 (a few minutes total); ``--full`` raises dataset scales and
+run counts toward the paper's settings (hours).  The printed report is
+the same material recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_figure4,
+    run_figure5,
+    run_table2,
+    run_table3,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale datasets and 50-run averaging (slow)",
+    )
+    args = parser.parse_args()
+
+    if args.full:
+        table2_cfg = ExperimentConfig(max_objects=None, n_runs=50)
+        table3_cfg = ExperimentConfig(max_objects=None, n_runs=50)
+        figure4_cfg = ExperimentConfig(max_objects=None, n_runs=50)
+        figure5_cfg = ExperimentConfig(n_runs=50)
+        figure5_base = 4_000_000
+    else:
+        table2_cfg = ExperimentConfig(n_runs=5)
+        table3_cfg = ExperimentConfig(scale=0.02, n_runs=3)
+        figure4_cfg = ExperimentConfig(scale=0.05, n_runs=3)
+        figure5_cfg = ExperimentConfig(n_runs=3)
+        figure5_base = 20_000
+
+    start = time.time()
+    print("running Table 2 (accuracy on benchmarks)...")
+    table2 = run_table2(table2_cfg)
+    print(table2.render("theta"))
+    print()
+    print(table2.render("quality"))
+
+    print("\nrunning Table 3 (Q on microarray stand-ins)...")
+    table3 = run_table3(table3_cfg)
+    print(table3.render())
+
+    print("\nrunning Figure 4 (efficiency)...")
+    figure4 = run_figure4(figure4_cfg)
+    print(figure4.render())
+
+    print("\nrunning Figure 5 (scalability)...")
+    figure5 = run_figure5(figure5_cfg, base_size=figure5_base)
+    print(figure5.render())
+
+    print(f"\ntotal wall time: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

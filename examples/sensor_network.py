@@ -1,0 +1,121 @@
+"""Sensor-network scenario: clustering imprecise sensor readings.
+
+Run:  python examples/sensor_network.py
+
+The paper's introduction motivates uncertain data with sensor
+measurements ("sensor measurements may be imprecise ... due to signal
+noise, instrumental errors, wireless transmission").  This example
+simulates a field of sensors reporting (temperature, humidity) readings
+whose error profiles differ per sensor class:
+
+* mains-powered stations: tight Normal error;
+* battery nodes: wider Uniform quantization error;
+* long-range radio nodes: asymmetric Exponential staleness drift.
+
+It then contrasts Case-1 clustering (pretend the noisy reading is exact)
+with Case-2 clustering (model the error as a pdf) — the paper's Theta
+protocol — for UCPC and UK-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    UCPC,
+    UKMeans,
+    UncertainDataset,
+    UncertainObject,
+    f_measure,
+)
+from repro.uncertainty import (
+    IndependentProduct,
+    TruncatedExponentialDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+)
+
+SEED = 7
+N_ZONES = 4
+SENSORS_PER_ZONE = 40
+
+
+def build_sensor_field(rng: np.random.Generator):
+    """True zone climates + per-sensor noisy readings and error models."""
+    zone_centers = rng.uniform([10.0, 20.0], [35.0, 90.0], size=(N_ZONES, 2))
+    readings = []
+    uncertain_objects = []
+    labels = []
+    for zone, center in enumerate(zone_centers):
+        for _ in range(SENSORS_PER_ZONE):
+            truth = rng.normal(center, [0.8, 2.5])
+            sensor_kind = rng.integers(0, 3)
+            if sensor_kind == 0:  # mains-powered: tight Normal error
+                noise_scale = np.array([0.3, 1.0])
+                reading = truth + rng.normal(0, noise_scale)
+                marginals = [
+                    TruncatedNormalDistribution.central_mass(
+                        reading[j], noise_scale[j], 0.95
+                    )
+                    for j in range(2)
+                ]
+            elif sensor_kind == 1:  # battery node: Uniform quantization
+                half = np.array([1.0, 4.0])
+                reading = truth + rng.uniform(-half, half)
+                marginals = [
+                    UniformDistribution.centered(reading[j], half[j])
+                    for j in range(2)
+                ]
+            else:  # long-range radio: Exponential staleness drift
+                # The reading overstates the truth by a nonnegative drift:
+                # reading = truth + Exp(rate).  The correct posterior for
+                # the truth is an Exponential tail *below* the reading —
+                # its mean de-biases the reading by 1/rate.  This is the
+                # asymmetry that makes Case-2 modeling genuinely help.
+                rates = np.array([1.2, 0.4])
+                reading = truth + rng.exponential(1.0 / rates)
+                cutoffs = -np.log(0.05) / rates  # 95%-mass truncation
+                marginals = [
+                    TruncatedExponentialDistribution(
+                        reading[j], rates[j], cutoff=cutoffs[j], direction=-1
+                    )
+                    for j in range(2)
+                ]
+            readings.append(reading)
+            uncertain_objects.append(
+                UncertainObject(IndependentProduct(marginals), label=zone)
+            )
+            labels.append(zone)
+    return (
+        np.array(readings),
+        np.array(labels),
+        UncertainDataset(uncertain_objects),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    readings, labels, uncertain = build_sensor_field(rng)
+    deterministic = UncertainDataset.from_points(readings, labels)
+    print(
+        f"sensor field: {len(uncertain)} sensors in {N_ZONES} climate zones; "
+        f"mean reading variance {uncertain.total_variances.mean():.2f}"
+    )
+
+    print(f"\n{'algorithm':12s} {'F (case 1)':>11s} {'F (case 2)':>11s} {'Theta':>7s}")
+    for algo_cls, kwargs in ((UCPC, {"init": "kmeans++"}), (UKMeans, {"init": "kmeans++"})):
+        algo = algo_cls(n_clusters=N_ZONES, **kwargs)
+        case1 = algo.fit(deterministic, seed=SEED)
+        case2 = algo.fit(uncertain, seed=SEED)
+        f1 = f_measure(case1.labels, labels)
+        f2 = f_measure(case2.labels, labels)
+        print(f"{algo.name:12s} {f1:11.3f} {f2:11.3f} {f2 - f1:+7.3f}")
+
+    print(
+        "\nTheta > 0 means modeling the error profile recovered zone "
+        "structure that the raw noisy readings had blurred."
+    )
+
+
+if __name__ == "__main__":
+    main()

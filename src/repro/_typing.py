@@ -1,0 +1,26 @@
+"""Shared type aliases used across the :mod:`repro` library."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: A dense float vector (1-D numpy array).
+FloatArray = npt.NDArray[np.float64]
+
+#: An integer label vector (1-D numpy array).
+IntArray = npt.NDArray[np.int64]
+
+#: Anything convertible to a 1-D float vector.
+VectorLike = Union[Sequence[float], npt.NDArray[np.floating]]
+
+#: Anything convertible to a 2-D float matrix.
+MatrixLike = Union[Sequence[Sequence[float]], npt.NDArray[np.floating]]
+
+#: A random seed accepted by :func:`repro.utils.rng.ensure_rng`.
+SeedLike = Union[None, int, np.random.Generator]
+
+#: A metric on two m-dimensional points returning a nonnegative float.
+PointMetric = Callable[[FloatArray, FloatArray], float]

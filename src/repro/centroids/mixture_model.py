@@ -1,0 +1,70 @@
+"""The MMVar mixture-model centroid (Eq. (10) and Lemma 2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.exceptions import EmptyClusterError
+from repro.objects.uncertain_object import UncertainObject
+from repro.uncertainty.mixture import MixtureDistribution
+
+
+class MixtureModelCentroid:
+    """Centroid of a cluster as the mixture of its members' pdfs.
+
+    ``C_MM = (R_MM, f_MM)`` with ``R_MM`` the union of member regions and
+    ``f_MM`` the average of member pdfs (Eq. (10)).  Lemma 2 gives its
+    moments directly from member moments, so the heavyweight
+    :class:`MixtureDistribution` is only materialized on demand
+    (:meth:`as_distribution`) — the MMVar algorithm itself needs moments
+    only.
+    """
+
+    __slots__ = ("_members", "_mu", "_mu2")
+
+    def __init__(self, members: Sequence[UncertainObject]):
+        if len(members) == 0:
+            raise EmptyClusterError("cannot build a centroid of an empty cluster")
+        self._members = tuple(members)
+        dim = members[0].dim
+        mu = np.zeros(dim)
+        mu2 = np.zeros(dim)
+        for obj in self._members:
+            mu += obj.mu
+            mu2 += obj.mu2
+        count = float(len(self._members))
+        self._mu = mu / count
+        self._mu2 = mu2 / count
+        self._mu.setflags(write=False)
+        self._mu2.setflags(write=False)
+
+    @property
+    def mu(self) -> FloatArray:
+        """``mu(C_MM) = (1/|C|) sum_o mu(o)`` (Lemma 2)."""
+        return self._mu
+
+    @property
+    def mu2(self) -> FloatArray:
+        """``mu2(C_MM) = (1/|C|) sum_o mu2(o)`` (Lemma 2)."""
+        return self._mu2
+
+    @property
+    def variance_vector(self) -> FloatArray:
+        """Per-dimension variance ``mu2 - mu^2`` of the mixture."""
+        return np.maximum(self._mu2 - self._mu**2, 0.0)
+
+    @property
+    def total_variance(self) -> float:
+        """Scalar variance ``sigma^2(C_MM)`` — MMVar's compactness (Eq. (11))."""
+        return float(self.variance_vector.sum())
+
+    def as_distribution(self) -> MixtureDistribution:
+        """Materialize the full mixture distribution (region, pdf, sampling)."""
+        return MixtureDistribution([obj.distribution for obj in self._members])
+
+    def as_uncertain_object(self) -> UncertainObject:
+        """Wrap the mixture as an :class:`UncertainObject`."""
+        return UncertainObject(self.as_distribution())

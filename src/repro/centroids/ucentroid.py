@@ -1,0 +1,195 @@
+"""The U-centroid — the paper's novel uncertain cluster centroid (Section 4.1).
+
+Theorem 1 defines the U-centroid of a cluster ``C = {o_1, ..., o_n}`` as
+the uncertain object ``(R, f)`` of the random variable
+
+    X_C = (1/n) * (X_1 + ... + X_n),
+
+the mean of one independent realization per member — each realization of
+the centroid is the point minimizing the summed squared Euclidean
+distance to one joint realization of the members (Figure 3).
+
+The pdf ``f`` is an n-fold convolution integral with no closed form in
+general, but:
+
+* the **region** is the Minkowski average of member regions (Theorem 1,
+  second statement) — :attr:`UCentroid.region`;
+* the **moments** have closed forms (Lemma 5) — :attr:`mu`, :attr:`mu2`;
+* the **variance** is ``|C|^-2 sum_i sigma^2(o_i)`` (Theorem 2) —
+  :attr:`total_variance`;
+* the pdf can be **sampled exactly** (draw one realization per member
+  and average) and **evaluated numerically** by Monte-Carlo integration
+  of the indicator form — :meth:`sample`, :meth:`pdf_estimate`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._typing import FloatArray, SeedLike
+from repro.exceptions import EmptyClusterError, InvalidParameterError
+from repro.objects.uncertain_object import UncertainObject
+from repro.uncertainty.empirical import EmpiricalDistribution
+from repro.uncertainty.region import BoxRegion, scaled_minkowski_sum
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import ensure_vector
+
+
+class UCentroid:
+    """The uncertain centroid ``C̄ = (R, f)`` of Theorem 1.
+
+    Parameters
+    ----------
+    members:
+        The cluster's uncertain objects (at least one).
+    """
+
+    __slots__ = ("_members", "_region", "_mu", "_mu2")
+
+    def __init__(self, members: Sequence[UncertainObject]):
+        if len(members) == 0:
+            raise EmptyClusterError("cannot build a U-centroid of an empty cluster")
+        self._members = tuple(members)
+        self._region = scaled_minkowski_sum([obj.region for obj in self._members])
+
+        # Lemma 5: mu(C̄) = (1/n) sum_i mu(o_i);
+        # mu2(C̄) = (1/n^2) [ sum_i mu2(o_i) + 2 sum_{i<i'} mu(o_i) mu(o_i') ].
+        count = len(self._members)
+        mu_sum = np.zeros(self._members[0].dim)
+        mu2_sum = np.zeros_like(mu_sum)
+        mu_sq_sum = np.zeros_like(mu_sum)
+        for obj in self._members:
+            mu_sum += obj.mu
+            mu2_sum += obj.mu2
+            mu_sq_sum += obj.mu**2
+        # 2 sum_{i<i'} mu_i mu_i' = (sum_i mu_i)^2 - sum_i mu_i^2
+        cross = mu_sum**2 - mu_sq_sum
+        self._mu = mu_sum / count
+        self._mu2 = (mu2_sum + cross) / (count * count)
+        self._mu.setflags(write=False)
+        self._mu2.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[UncertainObject, ...]:
+        """The cluster members the centroid summarizes."""
+        return self._members
+
+    @property
+    def size(self) -> int:
+        """Cluster cardinality ``|C|``."""
+        return len(self._members)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality m."""
+        return self._mu.shape[0]
+
+    @property
+    def region(self) -> BoxRegion:
+        """Domain region of Theorem 1: the Minkowski average of member boxes."""
+        return self._region
+
+    # ------------------------------------------------------------------
+    # Moments (Lemma 5 / Theorem 2)
+    # ------------------------------------------------------------------
+    @property
+    def mu(self) -> FloatArray:
+        """Expected value ``mu(C̄)`` — equals the UK-means centroid."""
+        return self._mu
+
+    @property
+    def mu2(self) -> FloatArray:
+        """Raw second moment ``mu2(C̄)`` (Lemma 5)."""
+        return self._mu2
+
+    @property
+    def variance_vector(self) -> FloatArray:
+        """Per-dimension variance of the centroid."""
+        return np.maximum(self._mu2 - self._mu**2, 0.0)
+
+    @property
+    def total_variance(self) -> float:
+        """``sigma^2(C̄) = |C|^-2 sum_i sigma^2(o_i)`` (Theorem 2).
+
+        Theorem 2 proves this quantity is *not* a sound compactness
+        criterion on its own — it ignores inter-object distances — which
+        is why the UCPC objective uses ``J`` of Theorem 3 instead.
+        """
+        return float(self.variance_vector.sum())
+
+    # ------------------------------------------------------------------
+    # Realizations of X_C
+    # ------------------------------------------------------------------
+    def sample(self, size: int, seed: SeedLike = None) -> FloatArray:
+        """Draw exact realizations of ``X_C``.
+
+        Each sample draws one independent realization from every member
+        and returns their mean — precisely the generative definition of
+        the U-centroid (Figure 3 of the paper).
+        """
+        if size <= 0:
+            raise InvalidParameterError(f"size must be > 0, got {size}")
+        rng = ensure_rng(seed)
+        total = np.zeros((size, self.dim))
+        for obj in self._members:
+            total += obj.sample(size, rng)
+        return total / self.size
+
+    def pdf_estimate(
+        self,
+        points: np.ndarray,
+        n_samples: int = 20000,
+        bandwidth: float = 0.05,
+        seed: SeedLike = None,
+    ) -> FloatArray:
+        """Kernel estimate of the analytically-intractable pdf ``f``.
+
+        Theorem 1's ``f`` involves an n-fold indicator integral with no
+        closed form; we approximate it by Gaussian-kernel density
+        estimation over exact samples of ``X_C``.  Exposed for analysis
+        and plotting — the clustering objective never needs it (the whole
+        point of Theorem 3).
+
+        Parameters
+        ----------
+        bandwidth:
+            Kernel width as a fraction of each region width.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.shape[1] != self.dim:
+            raise InvalidParameterError(
+                f"points must have {self.dim} columns, got {pts.shape[1]}"
+            )
+        samples = self.sample(n_samples, seed)
+        widths = np.where(self._region.widths > 0, self._region.widths, 1.0)
+        h = bandwidth * widths
+        norm = float(np.prod(h)) * (2.0 * np.pi) ** (self.dim / 2.0)
+        out = np.empty(pts.shape[0])
+        for idx in range(pts.shape[0]):
+            z = (samples - pts[idx]) / h
+            sq = np.einsum("ij,ij->i", z, z)
+            out[idx] = float(np.exp(-0.5 * sq).mean()) / norm
+        return out
+
+    def as_uncertain_object(
+        self, n_samples: int = 2048, seed: SeedLike = None
+    ) -> UncertainObject:
+        """Empirical uncertain-object view of the centroid.
+
+        Useful when downstream code (e.g. hierarchical merging, plotting)
+        needs the centroid as a regular dataset object.
+        """
+        return UncertainObject(EmpiricalDistribution(self.sample(n_samples, seed)))
+
+    def __repr__(self) -> str:
+        return (
+            f"UCentroid(size={self.size}, dim={self.dim}, "
+            f"mu={np.round(self._mu, 4)}, var={self.total_variance:g})"
+        )

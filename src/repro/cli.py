@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table2`` / ``table3`` / ``figure4`` / ``figure5``
+    Regenerate one paper artifact and print it.
+``report``
+    Run all four and write a markdown report (default: EXPERIMENTS.md
+    body to stdout, ``--output FILE`` to write a file).
+``demo``
+    One-minute demonstration: cluster uncertain blobs with every
+    algorithm and print the score table.
+
+Examples
+--------
+::
+
+    python -m repro table2 --datasets iris wine --families normal --runs 3
+    python -m repro figure5 --base-size 50000
+    python -m repro report --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ACCURACY_ROSTER,
+    ExperimentConfig,
+    run_figure4,
+    run_figure5,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.figure4 import FIGURE4_DATASETS
+from repro.experiments.table2 import TABLE2_DATASETS
+from repro.experiments.table3 import TABLE3_CLUSTER_COUNTS, TABLE3_DATASETS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--runs", type=int, default=5, help="runs per cell")
+    parser.add_argument("--seed", type=int, default=2012, help="master seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale in (0, 1]"
+    )
+    parser.add_argument(
+        "--max-objects",
+        type=int,
+        default=600,
+        help="cap on benchmark sizes (0 = uncapped)",
+    )
+    parser.add_argument(
+        "--spread", type=float, default=1.0, help="uncertainty magnitude"
+    )
+
+
+def _config(args: argparse.Namespace, **overrides) -> ExperimentConfig:
+    max_objects = None if args.max_objects == 0 else args.max_objects
+    values = dict(
+        scale=args.scale,
+        max_objects=max_objects,
+        n_runs=args.runs,
+        seed=args.seed,
+        spread=args.spread,
+    )
+    values.update(overrides)
+    return ExperimentConfig(**values)
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    report = run_table2(
+        _config(args),
+        datasets=args.datasets,
+        families=args.families,
+        algorithms=args.algorithms,
+    )
+    print(report.render("theta"))
+    print()
+    print(report.render("quality"))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    report = run_table3(
+        _config(args, scale=min(args.scale, 0.02) if args.scale == 1.0 else args.scale),
+        datasets=args.datasets,
+        cluster_counts=args.cluster_counts,
+        algorithms=args.algorithms,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    report = run_figure4(
+        _config(args, scale=min(args.scale, 0.05) if args.scale == 1.0 else args.scale),
+        datasets=args.datasets,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    report = run_figure5(_config(args), base_size=args.base_size)
+    print(report.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import (
+        collect_artifacts,
+        render_markdown,
+        write_experiments_report,
+    )
+
+    artifacts = collect_artifacts(
+        table2_config=_config(args),
+        table3_config=_config(args, scale=0.02, n_runs=max(1, args.runs // 2)),
+        figure4_config=_config(args, scale=0.05, n_runs=max(1, args.runs // 2)),
+        figure5_config=_config(args, n_runs=max(1, args.runs // 2)),
+        figure5_base_size=args.base_size,
+    )
+    from repro.experiments.shapes import run_all_checks
+
+    checks = run_all_checks(
+        artifacts.table2, artifacts.table3, artifacts.figure4, artifacts.figure5
+    )
+    check_lines = "\n".join(f"- {check}" for check in checks)
+    preamble = (
+        "# Measured paper artifacts\n\n"
+        "## Qualitative shape checks\n\n" + check_lines + "\n"
+    )
+    if args.output:
+        write_experiments_report(args.output, artifacts, preamble=preamble)
+        print(f"wrote {args.output}")
+    else:
+        print(render_markdown(artifacts, preamble=preamble))
+    for check in checks:
+        print(check)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import f_measure, internal_scores, make_blobs_uncertain
+    from repro.experiments.config import build_algorithm
+    from repro.utils.tables import format_table
+
+    data = make_blobs_uncertain(
+        n_objects=150, n_clusters=3, separation=6.0, seed=args.seed
+    )
+    rows = []
+    for name in ACCURACY_ROSTER:
+        algorithm = build_algorithm(name, n_clusters=3, n_samples=16)
+        result = algorithm.fit(data, seed=args.seed)
+        rows.append(
+            [
+                name,
+                f_measure(result.labels, data.labels),
+                internal_scores(data, result.labels).quality,
+                result.runtime_seconds * 1e3,
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=["algorithm", "F-measure", "Q", "time [ms]"],
+            title="Uncertain-blob demo (n=150, k=3)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for Gullo & Tagarelli, VLDB 2012.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2 = sub.add_parser("table2", help="accuracy on benchmark datasets")
+    _add_common(p2)
+    p2.add_argument("--datasets", nargs="+", default=list(TABLE2_DATASETS))
+    p2.add_argument(
+        "--families",
+        nargs="+",
+        default=["uniform", "normal", "exponential"],
+    )
+    p2.add_argument("--algorithms", nargs="+", default=list(ACCURACY_ROSTER))
+    p2.set_defaults(func=_cmd_table2)
+
+    p3 = sub.add_parser("table3", help="Q on microarray stand-ins")
+    _add_common(p3)
+    p3.add_argument("--datasets", nargs="+", default=list(TABLE3_DATASETS))
+    p3.add_argument(
+        "--cluster-counts",
+        nargs="+",
+        type=int,
+        default=list(TABLE3_CLUSTER_COUNTS),
+    )
+    p3.add_argument("--algorithms", nargs="+", default=list(ACCURACY_ROSTER))
+    p3.set_defaults(func=_cmd_table3)
+
+    p4 = sub.add_parser("figure4", help="efficiency comparison")
+    _add_common(p4)
+    p4.add_argument("--datasets", nargs="+", default=list(FIGURE4_DATASETS))
+    p4.set_defaults(func=_cmd_figure4)
+
+    p5 = sub.add_parser("figure5", help="scalability on the KDD workload")
+    _add_common(p5)
+    p5.add_argument("--base-size", type=int, default=20000)
+    p5.set_defaults(func=_cmd_figure5)
+
+    pr = sub.add_parser("report", help="run everything, render markdown")
+    _add_common(pr)
+    pr.add_argument("--base-size", type=int, default=20000)
+    pr.add_argument("--output", default=None, help="write to this file")
+    pr.set_defaults(func=_cmd_report)
+
+    pd = sub.add_parser("demo", help="one-minute algorithm comparison")
+    pd.add_argument("--seed", type=int, default=0)
+    pd.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Shared clustering interfaces and result types.
+
+Every algorithm in :mod:`repro.clustering` — partitional, density-based
+and hierarchical alike — consumes an :class:`~repro.objects.dataset.
+UncertainDataset` and produces a :class:`ClusteringResult`, so the
+evaluation protocol and experiment harness treat all of them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._typing import IntArray, SeedLike
+from repro.exceptions import InvalidParameterError
+from repro.objects.dataset import UncertainDataset
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per object, shape ``(n,)``.  Density-based methods
+        may emit ``-1`` for noise objects.
+    objective:
+        Final value of the algorithm's own objective function (NaN for
+        algorithms without one, e.g. FDBSCAN).
+    n_iterations:
+        Outer iterations executed (``I`` in the paper's complexity
+        analyses); 1 for single-pass methods.
+    converged:
+        Whether the stopping criterion was reached before the iteration
+        cap.
+    runtime_seconds:
+        Wall-clock "on-line" clustering time — excludes any off-line
+        moment/sample precomputation, matching the paper's timing
+        methodology (Section 5.2.2).
+    objective_history:
+        Objective value after each iteration (empty when not tracked).
+    extras:
+        Algorithm-specific diagnostics (e.g. pruning counters).
+    """
+
+    labels: IntArray
+    objective: float = float("nan")
+    n_iterations: int = 1
+    converged: bool = True
+    runtime_seconds: float = 0.0
+    objective_history: List[float] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+
+    @property
+    def n_objects(self) -> int:
+        """Number of clustered objects."""
+        return self.labels.shape[0]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of non-noise clusters present in the labeling."""
+        real = self.labels[self.labels >= 0]
+        if real.size == 0:
+            return 0
+        return int(np.unique(real).size)
+
+    @property
+    def n_noise(self) -> int:
+        """Number of objects labeled as noise (-1)."""
+        return int(np.sum(self.labels < 0))
+
+    def clusters(self) -> List[List[int]]:
+        """Object indices grouped per cluster (noise excluded)."""
+        groups: Dict[int, List[int]] = {}
+        for idx, lab in enumerate(self.labels):
+            if lab >= 0:
+                groups.setdefault(int(lab), []).append(idx)
+        return [groups[key] for key in sorted(groups)]
+
+    def relabeled(self) -> "ClusteringResult":
+        """Copy with cluster ids compacted to ``0..k-1`` (noise kept as -1)."""
+        labels = self.labels.copy()
+        real = sorted(set(int(v) for v in labels if v >= 0))
+        mapping = {old: new for new, old in enumerate(real)}
+        for idx, lab in enumerate(labels):
+            if lab >= 0:
+                labels[idx] = mapping[int(lab)]
+        return ClusteringResult(
+            labels=labels,
+            objective=self.objective,
+            n_iterations=self.n_iterations,
+            converged=self.converged,
+            runtime_seconds=self.runtime_seconds,
+            objective_history=list(self.objective_history),
+            extras=dict(self.extras),
+        )
+
+
+class UncertainClusterer(abc.ABC):
+    """Base class for every clustering algorithm in the library.
+
+    Subclasses implement :meth:`fit`; the constructor of each subclass
+    carries the algorithm's hyperparameters so that one configured
+    instance can be reused across datasets and runs (the experiment
+    harness relies on this).
+    """
+
+    #: Human-readable algorithm name used in reports (paper's abbreviations).
+    name: str = "clusterer"
+
+    @abc.abstractmethod
+    def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
+        """Cluster ``dataset`` and return a :class:`ClusteringResult`."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def validate_n_clusters(n_clusters: int, n_objects: int) -> int:
+    """Validate a cluster-count hyperparameter against a dataset size."""
+    if not isinstance(n_clusters, (int, np.integer)) or n_clusters < 1:
+        raise InvalidParameterError(
+            f"n_clusters must be a positive integer, got {n_clusters!r}"
+        )
+    if n_clusters > n_objects:
+        raise InvalidParameterError(
+            f"n_clusters ({n_clusters}) exceeds dataset size ({n_objects})"
+        )
+    return int(n_clusters)
+
+
+def labels_from_clusters(
+    clusters: Sequence[Sequence[int]], n_objects: int
+) -> IntArray:
+    """Inverse of :meth:`ClusteringResult.clusters` (unassigned -> -1)."""
+    labels = np.full(n_objects, -1, dtype=np.int64)
+    for cluster_id, members in enumerate(clusters):
+        for idx in members:
+            labels[idx] = cluster_id
+    return labels

@@ -1,0 +1,302 @@
+"""Incremental cluster statistics — Theorem 3 and Corollary 1 (S6).
+
+UCPC's efficiency claim rests on maintaining, per cluster and dimension,
+the three sufficient statistics of Theorem 3:
+
+* ``Psi_j  = sum_i (sigma^2)_j(o_i)``  — summed variances,
+* ``Phi_j  = sum_i (mu2)_j(o_i)``      — summed raw second moments,
+* ``Upsilon_j = (sum_i mu_j(o_i))^2``  — squared summed means,
+
+so that ``J(C) = sum_j (Psi_j/|C| + Phi_j - Upsilon_j/|C|)`` and the
+objective of ``C ∪ {o}`` / ``C \\ {o}`` follows in O(m) (Corollary 1).
+
+Implementation note — the paper's Corollary 1 updates Upsilon via
+``(sqrt(Upsilon) ± mu_j(o))^2``, which silently assumes the running mean
+sum is nonnegative (true for the paper's nonnegative datasets, wrong in
+general: ``sqrt`` loses the sign).  We therefore store the *signed* sum
+``S_j = sum_i mu_j(o_i)`` and derive ``Upsilon_j = S_j^2``, which is
+algebraically identical where the paper's form is valid and correct
+everywhere else.  ``tests/test_cluster_stats.py`` covers both regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.exceptions import EmptyClusterError, InvalidParameterError
+from repro.objects.dataset import UncertainDataset
+from repro.objects.uncertain_object import UncertainObject
+
+
+class ClusterStats:
+    """Sufficient statistics of one cluster for the UCPC objective.
+
+    Supports O(m) insertion, removal, and hypothetical ("what if")
+    objective queries, per Corollary 1.
+    """
+
+    __slots__ = ("_psi", "_phi", "_mu_sum", "_count")
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise InvalidParameterError(f"dim must be >= 1, got {dim}")
+        self._psi = np.zeros(dim)
+        self._phi = np.zeros(dim)
+        self._mu_sum = np.zeros(dim)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_objects(objects: Sequence[UncertainObject]) -> "ClusterStats":
+        """Build stats by inserting every object."""
+        if len(objects) == 0:
+            raise EmptyClusterError("from_objects needs at least one object")
+        stats = ClusterStats(objects[0].dim)
+        for obj in objects:
+            stats.add(obj)
+        return stats
+
+    @staticmethod
+    def from_dataset_indices(
+        dataset: UncertainDataset, indices: Iterable[int]
+    ) -> "ClusterStats":
+        """Build stats from dataset rows (vectorized)."""
+        idx = np.fromiter(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise EmptyClusterError("from_dataset_indices needs at least one index")
+        stats = ClusterStats(dataset.dim)
+        stats._psi = dataset.sigma2_matrix[idx].sum(axis=0)
+        stats._phi = dataset.mu2_matrix[idx].sum(axis=0)
+        stats._mu_sum = dataset.mu_matrix[idx].sum(axis=0)
+        stats._count = int(idx.size)
+        return stats
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Cluster cardinality ``|C|``."""
+        return self._count
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality m."""
+        return self._psi.shape[0]
+
+    @property
+    def psi(self) -> FloatArray:
+        """``Psi_j`` vector (summed variances)."""
+        return self._psi.copy()
+
+    @property
+    def phi(self) -> FloatArray:
+        """``Phi_j`` vector (summed raw second moments)."""
+        return self._phi.copy()
+
+    @property
+    def mu_sum(self) -> FloatArray:
+        """Signed mean-sum ``S_j``; ``Upsilon_j = S_j^2``."""
+        return self._mu_sum.copy()
+
+    @property
+    def upsilon(self) -> FloatArray:
+        """``Upsilon_j = (sum_i mu_j)^2`` of Theorem 3."""
+        return self._mu_sum**2
+
+    @property
+    def centroid_mean(self) -> FloatArray:
+        """Expected value of the cluster's U-centroid, ``S / |C|``."""
+        if self._count == 0:
+            raise EmptyClusterError("centroid of an empty cluster is undefined")
+        return self._mu_sum / self._count
+
+    # ------------------------------------------------------------------
+    # Mutation (Corollary 1)
+    # ------------------------------------------------------------------
+    def add(self, obj: UncertainObject) -> None:
+        """Insert an object: ``Psi += sigma^2(o)``, etc.; O(m)."""
+        self._check_dim(obj)
+        self._psi += obj.sigma2
+        self._phi += obj.mu2
+        self._mu_sum += obj.mu
+        self._count += 1
+
+    def remove(self, obj: UncertainObject) -> None:
+        """Remove an object (caller guarantees membership); O(m)."""
+        self._check_dim(obj)
+        if self._count == 0:
+            raise EmptyClusterError("cannot remove from an empty cluster")
+        self._psi -= obj.sigma2
+        self._phi -= obj.mu2
+        self._mu_sum -= obj.mu
+        self._count -= 1
+        if self._count == 0:
+            # Snap accumulated round-off to exact zero on emptying.
+            self._psi[:] = 0.0
+            self._phi[:] = 0.0
+            self._mu_sum[:] = 0.0
+
+    # ------------------------------------------------------------------
+    # Objective queries (Theorem 3 / Corollary 1)
+    # ------------------------------------------------------------------
+    def objective(self) -> float:
+        """``J(C)`` by Theorem 3's closed form; 0 for an empty cluster."""
+        if self._count == 0:
+            return 0.0
+        inv = 1.0 / self._count
+        return float(
+            np.sum(self._psi * inv + self._phi - (self._mu_sum**2) * inv)
+        )
+
+    def objective_with(self, obj: UncertainObject) -> float:
+        """``J(C ∪ {o})`` without mutating the stats (Eq. (15)); O(m)."""
+        self._check_dim(obj)
+        count = self._count + 1
+        inv = 1.0 / count
+        psi = self._psi + obj.sigma2
+        phi = self._phi + obj.mu2
+        mu_sum = self._mu_sum + obj.mu
+        return float(np.sum(psi * inv + phi - (mu_sum**2) * inv))
+
+    def objective_without(self, obj: UncertainObject) -> float:
+        """``J(C \\ {o})`` without mutating the stats (Eq. (16)); O(m)."""
+        self._check_dim(obj)
+        if self._count == 0:
+            raise EmptyClusterError("cannot remove from an empty cluster")
+        count = self._count - 1
+        if count == 0:
+            return 0.0
+        inv = 1.0 / count
+        psi = self._psi - obj.sigma2
+        phi = self._phi - obj.mu2
+        mu_sum = self._mu_sum - obj.mu
+        return float(np.sum(psi * inv + phi - (mu_sum**2) * inv))
+
+    def relocation_delta(self, other: "ClusterStats", obj: UncertainObject) -> float:
+        """Objective change of moving ``obj`` from this cluster to ``other``.
+
+        Negative values are improvements.  This is the quantity UCPC's
+        inner loop (Line 8 of Algorithm 1) minimizes over clusters.
+        """
+        before = self.objective() + other.objective()
+        after = self.objective_without(obj) + other.objective_with(obj)
+        return after - before
+
+    def copy(self) -> "ClusterStats":
+        """Deep copy of the statistics."""
+        clone = ClusterStats(self.dim)
+        clone._psi = self._psi.copy()
+        clone._phi = self._phi.copy()
+        clone._mu_sum = self._mu_sum.copy()
+        clone._count = self._count
+        return clone
+
+    def _check_dim(self, obj: UncertainObject) -> None:
+        if obj.dim != self.dim:
+            raise InvalidParameterError(
+                f"object dim {obj.dim} does not match cluster dim {self.dim}"
+            )
+
+    def __repr__(self) -> str:
+        return f"ClusterStats(count={self._count}, J={self.objective():g})"
+
+
+class ClusterStatsMatrix:
+    """Vectorized Psi/Phi/S statistics for *all* k clusters at once.
+
+    UCPC's inner loop evaluates ``J(C ∪ {o})`` for every cluster; doing
+    that per-cluster in Python costs ``O(k)`` interpreter overhead per
+    object.  This matrix form evaluates all k candidates in a handful of
+    numpy operations, preserving the O(k·m) arithmetic of Corollary 1.
+    """
+
+    __slots__ = ("psi", "phi", "mu_sum", "counts")
+
+    def __init__(self, n_clusters: int, dim: int):
+        if n_clusters < 1:
+            raise InvalidParameterError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.psi = np.zeros((n_clusters, dim))
+        self.phi = np.zeros((n_clusters, dim))
+        self.mu_sum = np.zeros((n_clusters, dim))
+        self.counts = np.zeros(n_clusters, dtype=np.int64)
+
+    @staticmethod
+    def from_assignment(
+        dataset: UncertainDataset, assignment: np.ndarray, n_clusters: int
+    ) -> "ClusterStatsMatrix":
+        """Aggregate dataset moments per assigned cluster."""
+        stats = ClusterStatsMatrix(n_clusters, dataset.dim)
+        np.add.at(stats.psi, assignment, dataset.sigma2_matrix)
+        np.add.at(stats.phi, assignment, dataset.mu2_matrix)
+        np.add.at(stats.mu_sum, assignment, dataset.mu_matrix)
+        np.add.at(stats.counts, assignment, 1)
+        return stats
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of tracked clusters."""
+        return self.counts.shape[0]
+
+    def objectives(self) -> FloatArray:
+        """``J(C_c)`` for every cluster c (0 for empty clusters)."""
+        safe = np.maximum(self.counts, 1).astype(np.float64)
+        inv = 1.0 / safe
+        per_cluster = (
+            self.psi.sum(axis=1) * inv
+            + self.phi.sum(axis=1)
+            - np.einsum("cj,cj->c", self.mu_sum, self.mu_sum) * inv
+        )
+        return np.where(self.counts > 0, per_cluster, 0.0)
+
+    def total_objective(self) -> float:
+        """``sum_C J(C)`` — the quantity UCPC minimizes."""
+        return float(self.objectives().sum())
+
+    def objectives_with(
+        self, sigma2: FloatArray, mu2: FloatArray, mu: FloatArray
+    ) -> FloatArray:
+        """``J(C_c ∪ {o})`` for every cluster c in one shot (Eq. (15))."""
+        counts = (self.counts + 1).astype(np.float64)
+        inv = 1.0 / counts
+        psi = self.psi.sum(axis=1) + sigma2.sum()
+        phi = self.phi.sum(axis=1) + mu2.sum()
+        mu_sum = self.mu_sum + mu
+        ups = np.einsum("cj,cj->c", mu_sum, mu_sum)
+        return psi * inv + phi - ups * inv
+
+    def objective_without(
+        self, cluster: int, sigma2: FloatArray, mu2: FloatArray, mu: FloatArray
+    ) -> float:
+        """``J(C_c \\ {o})`` for the object's own cluster (Eq. (16))."""
+        count = int(self.counts[cluster]) - 1
+        if count <= 0:
+            return 0.0
+        inv = 1.0 / count
+        psi = float(self.psi[cluster].sum() - sigma2.sum())
+        phi = float(self.phi[cluster].sum() - mu2.sum())
+        mu_sum = self.mu_sum[cluster] - mu
+        return psi * inv + phi - float(mu_sum @ mu_sum) * inv
+
+    def move(
+        self,
+        source: int,
+        target: int,
+        sigma2: FloatArray,
+        mu2: FloatArray,
+        mu: FloatArray,
+    ) -> None:
+        """Relocate an object's contribution between clusters; O(m)."""
+        self.psi[source] -= sigma2
+        self.phi[source] -= mu2
+        self.mu_sum[source] -= mu
+        self.counts[source] -= 1
+        self.psi[target] += sigma2
+        self.phi[target] += mu2
+        self.mu_sum[target] += mu
+        self.counts[target] += 1

@@ -1,0 +1,55 @@
+"""Deterministic K-means (Lloyd) baseline (S16).
+
+The Case-1 evaluation protocol clusters *perturbed deterministic* data;
+those datasets flow through the library as zero-variance uncertain
+objects, for which UK-means reduces exactly to classic K-means.  This
+module provides the explicit point-matrix entry point for users who have
+plain vectors and no uncertainty model at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.clustering.base import ClusteringResult, UncertainClusterer
+from repro.clustering.ukmeans import UKMeans
+from repro.objects.dataset import UncertainDataset
+
+
+class KMeans(UncertainClusterer):
+    """Lloyd's K-means on deterministic points.
+
+    A thin adapter: wraps the rows as point-mass uncertain objects and
+    delegates to :class:`~repro.clustering.ukmeans.UKMeans`, with which
+    it coincides exactly at zero variance (Eq. (8) with sigma^2 = 0).
+
+    Parameters
+    ----------
+    n_clusters, max_iter, init:
+        As in :class:`UKMeans`.
+    """
+
+    name = "KM"
+
+    def __init__(self, n_clusters: int, max_iter: int = 100, init: str = "random"):
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.init = init
+        self._delegate = UKMeans(n_clusters, max_iter=max_iter, init=init)
+
+    def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
+        """Cluster an (already wrapped) dataset."""
+        return self._delegate.fit(dataset, seed)
+
+    def fit_points(
+        self,
+        points: np.ndarray,
+        labels: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> ClusteringResult:
+        """Cluster a raw ``(n, m)`` point matrix."""
+        dataset = UncertainDataset.from_points(points, labels)
+        return self.fit(dataset, seed)

@@ -1,0 +1,116 @@
+"""Reference implementations of every cluster-compactness objective.
+
+These are the *definitional* forms of the paper's objective functions,
+written for clarity and used by the test-suite to validate the fast
+incremental forms the algorithms actually run on:
+
+* :func:`j_uk` — UK-means compactness ``J_UK`` (Eq. (9), Lemma 1);
+* :func:`j_mm` — MMVar compactness ``J_MM = sigma^2(C_MM)`` (Eq. (11));
+* :func:`j_hat` — the "mixed" objective ``Ĵ`` (Eq. (12));
+* :func:`j_ucpc` — the paper's objective ``J`` (Eq. (14), Theorem 3).
+
+Propositions 2-3 of the paper assert ``J_MM = J_UK/|C|`` and
+``Ĵ = 2 J_UK``; Theorem 3 asserts
+``J = |C|^-1 sum_i sigma^2(o_i) + J_UK`` — all verified in
+``tests/test_propositions.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.centroids.deterministic import ukmeans_centroid
+from repro.centroids.mixture_model import MixtureModelCentroid
+from repro.centroids.ucentroid import UCentroid
+from repro.exceptions import EmptyClusterError
+from repro.objects.uncertain_object import UncertainObject
+
+
+def _require_nonempty(cluster: Sequence[UncertainObject]) -> None:
+    if len(cluster) == 0:
+        raise EmptyClusterError("objective of an empty cluster is undefined")
+
+
+def j_uk(cluster: Sequence[UncertainObject]) -> float:
+    """UK-means compactness ``J_UK(C) = sum_o ED(o, C_UK)`` (Eq. (9)).
+
+    Computed via the closed form of Eq. (8):
+    ``ED(o, y) = sigma^2(o) + ||mu(o) - y||^2`` with ``y = C_UK``.
+    """
+    _require_nonempty(cluster)
+    center = ukmeans_centroid(cluster)
+    total = 0.0
+    for obj in cluster:
+        diff = obj.mu - center
+        total += obj.total_variance + float(diff @ diff)
+    return total
+
+
+def j_uk_lemma1(cluster: Sequence[UncertainObject]) -> float:
+    """``J_UK`` via Lemma 1: ``sum_j [sum_o mu2_j - (1/|C|)(sum_o mu_j)^2]``."""
+    _require_nonempty(cluster)
+    mu2_sum = np.zeros(cluster[0].dim)
+    mu_sum = np.zeros_like(mu2_sum)
+    for obj in cluster:
+        mu2_sum += obj.mu2
+        mu_sum += obj.mu
+    return float(np.sum(mu2_sum - mu_sum**2 / len(cluster)))
+
+
+def j_mm(cluster: Sequence[UncertainObject]) -> float:
+    """MMVar compactness ``J_MM(C) = sigma^2(C_MM)`` (Eq. (11))."""
+    _require_nonempty(cluster)
+    return MixtureModelCentroid(cluster).total_variance
+
+
+def j_hat(cluster: Sequence[UncertainObject]) -> float:
+    """The mixed objective ``Ĵ(C) = sum_o ÊD(o, C_MM)`` (Eq. (12)).
+
+    Uses Lemma 3 applied to the member moments and the mixture moments
+    of Lemma 2.  Proposition 3 proves ``Ĵ = 2|C| J_MM = 2 J_UK`` — i.e.
+    mixing the MMVar centroid with the UK-means criterion buys nothing.
+    """
+    _require_nonempty(cluster)
+    centroid = MixtureModelCentroid(cluster)
+    total = 0.0
+    for obj in cluster:
+        total += float(np.sum(obj.mu2 - 2.0 * obj.mu * centroid.mu + centroid.mu2))
+    return total
+
+
+def j_ucpc(cluster: Sequence[UncertainObject]) -> float:
+    """The paper's objective ``J(C) = sum_o ÊD(o, C̄)`` (Eq. (14)).
+
+    Definitional form: Lemma 3 applied to each member and the U-centroid's
+    moments (Lemma 5).  The closed form of Theorem 3 (used by UCPC) is
+    :func:`j_ucpc_closed_form`; both must agree.
+    """
+    _require_nonempty(cluster)
+    centroid = UCentroid(cluster)
+    total = 0.0
+    for obj in cluster:
+        total += float(np.sum(obj.mu2 - 2.0 * obj.mu * centroid.mu + centroid.mu2))
+    return total
+
+
+def j_ucpc_closed_form(cluster: Sequence[UncertainObject]) -> float:
+    """Theorem 3's closed form ``J = sum_j (Psi_j/|C| + Phi_j - Upsilon_j/|C|)``."""
+    _require_nonempty(cluster)
+    count = len(cluster)
+    psi = np.zeros(cluster[0].dim)
+    phi = np.zeros_like(psi)
+    mu_sum = np.zeros_like(psi)
+    for obj in cluster:
+        psi += obj.sigma2
+        phi += obj.mu2
+        mu_sum += obj.mu
+    upsilon = mu_sum**2
+    return float(np.sum(psi / count + phi - upsilon / count))
+
+
+def sum_of_variances(cluster: Sequence[UncertainObject]) -> float:
+    """``sum_o sigma^2(o)`` — the cluster-variance term of Proposition 1."""
+    _require_nonempty(cluster)
+    return float(sum(obj.total_variance for obj in cluster))

@@ -1,0 +1,195 @@
+"""U-AHC — agglomerative hierarchical clustering of uncertain data [9] (S15).
+
+Gullo et al.'s U-AHC merges, at every step, the pair of clusters whose
+*mixture-model representatives* are closest, where each cluster is
+summarized by the mixture of its members' pdfs (the MMVar centroid of
+Eq. (10)) and proximity between representatives is scored with an
+**information-theoretic** measure over the mixture pdfs.
+
+Substitution note (documented in DESIGN.md): the original measure
+combines entropy-based terms we cannot transcribe from [9]; our default
+``linkage="jeffreys"`` scores proximity with the symmetric
+Kullback-Leibler (Jeffreys) divergence between diagonal-Gaussian
+approximations of the mixtures — an information-theoretic divergence
+that, like the original, is sensitive to both location *and* variance
+mismatch.  ``linkage="ed"`` provides the purely geometric alternative
+(squared expected distance between the mixture representatives, Lemma 3
+over Lemma 2 moments).
+
+The full dendrogram is recorded; the flat clustering is obtained by
+stopping at ``n_clusters`` clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.clustering.base import (
+    ClusteringResult,
+    UncertainClusterer,
+    validate_n_clusters,
+)
+from repro.exceptions import InvalidParameterError
+from repro.objects.dataset import UncertainDataset
+from repro.utils.timer import Stopwatch
+
+#: Variance floor for the Gaussian approximations (point masses).
+_VAR_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One dendrogram merge: clusters ``left`` and ``right`` at ``height``."""
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+class UAHC(UncertainClusterer):
+    """Agglomerative hierarchical clustering with mixture representatives.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of flat clusters to cut the dendrogram at.
+    linkage:
+        ``"jeffreys"`` (default) — symmetric KL divergence between
+        diagonal-Gaussian approximations of the cluster mixtures
+        (information-theoretic, per [9]);
+        ``"ed"`` — squared expected distance between mixture
+        representatives (geometric).
+
+    Notes
+    -----
+    Cluster mixtures are tracked by their summed moments (Lemma 2), so a
+    merge is O(m) and each proximity-row refresh is O(n·m); the overall
+    scan cost is Theta(n^2) per merge in the worst case — U-AHC belongs
+    to the "slower" group of the paper's Figure 4.
+    """
+
+    name = "UAHC"
+
+    def __init__(self, n_clusters: int, linkage: str = "jeffreys"):
+        if linkage not in ("jeffreys", "ed"):
+            raise InvalidParameterError(
+                f"linkage must be 'jeffreys' or 'ed', got {linkage!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.linkage = linkage
+
+    def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
+        """Cluster ``dataset`` bottom-up; ``seed`` is unused (deterministic)."""
+        n = len(dataset)
+        k = validate_n_clusters(self.n_clusters, n)
+
+        watch = Stopwatch()
+        with watch.running():
+            labels, merges = self._agglomerate(dataset, k)
+        return ClusteringResult(
+            labels=labels,
+            n_iterations=n - k,
+            runtime_seconds=watch.elapsed_seconds,
+            extras={"merges": merges, "linkage": self.linkage},
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _agglomerate(
+        self, dataset: UncertainDataset, k: int
+    ) -> tuple[np.ndarray, List[MergeStep]]:
+        n = len(dataset)
+        # Per-active-cluster summed moments (mixture moments * count).
+        mu_sum = dataset.mu_matrix.copy()
+        mu2_sum = dataset.mu2_matrix.copy()
+        counts = np.ones(n, dtype=np.int64)
+        active = np.ones(n, dtype=bool)
+        membership = np.arange(n)
+
+        prox = self._full_proximity(mu_sum, mu2_sum, counts)
+        np.fill_diagonal(prox, np.inf)
+
+        merges: List[MergeStep] = []
+        n_active = n
+        while n_active > k:
+            flat = int(np.argmin(prox))
+            a, b = divmod(flat, n)
+            if a > b:
+                a, b = b, a
+            height = float(prox[a, b])
+            # Merge b into a.
+            mu_sum[a] += mu_sum[b]
+            mu2_sum[a] += mu2_sum[b]
+            counts[a] += counts[b]
+            active[b] = False
+            membership[membership == b] = a
+            merges.append(
+                MergeStep(left=a, right=b, height=height, size=int(counts[a]))
+            )
+            # Retire b and refresh a's proximities against all survivors.
+            prox[b, :] = np.inf
+            prox[:, b] = np.inf
+            row = self._proximity_row(mu_sum, mu2_sum, counts, active, a)
+            prox[a, :] = row
+            prox[:, a] = row
+            prox[a, a] = np.inf
+            n_active -= 1
+
+        # Compact the surviving cluster ids to 0..k-1.
+        survivors = {old: new for new, old in enumerate(np.flatnonzero(active))}
+        labels = np.array([survivors[int(c)] for c in membership], dtype=np.int64)
+        return labels, merges
+
+    @staticmethod
+    def _gaussian_parameters(
+        mu_sum: np.ndarray, mu2_sum: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(means, variances) of each cluster mixture's Gaussian fit."""
+        inv = 1.0 / counts.astype(np.float64)
+        mix_mu = mu_sum * inv[:, None]
+        mix_mu2 = mu2_sum * inv[:, None]
+        mix_var = np.maximum(mix_mu2 - mix_mu**2, _VAR_FLOOR)
+        return mix_mu, mix_var
+
+    def _full_proximity(
+        self, mu_sum: np.ndarray, mu2_sum: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        mu, var = self._gaussian_parameters(mu_sum, mu2_sum, counts)
+        n = mu.shape[0]
+        prox = np.empty((n, n))
+        for i in range(n):
+            prox[i] = self._row_against(mu, var, i)
+        return prox
+
+    def _proximity_row(
+        self,
+        mu_sum: np.ndarray,
+        mu2_sum: np.ndarray,
+        counts: np.ndarray,
+        active: np.ndarray,
+        target: int,
+    ) -> np.ndarray:
+        mu, var = self._gaussian_parameters(mu_sum, mu2_sum, counts)
+        row = self._row_against(mu, var, target)
+        row[~active] = np.inf
+        row[target] = np.inf
+        return row
+
+    def _row_against(
+        self, mu: np.ndarray, var: np.ndarray, target: int
+    ) -> np.ndarray:
+        diff_sq = (mu - mu[target]) ** 2
+        if self.linkage == "jeffreys":
+            # Symmetric KL between diagonal Gaussians:
+            # 0.5 sum_j [ (var_i + d^2)/var_t + (var_t + d^2)/var_i - 2 ].
+            term = (var + diff_sq) / var[target] + (var[target] + diff_sq) / var
+            return 0.5 * (term - 2.0).sum(axis=1)
+        # "ed": ÊD between the mixture representatives (Lemma 3):
+        # sigma^2_i + sigma^2_t + ||mu_i - mu_t||^2.
+        return var.sum(axis=1) + var[target].sum() + diff_sq.sum(axis=1)

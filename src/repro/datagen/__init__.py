@@ -1,0 +1,41 @@
+"""Dataset synthesis (S20-S22): benchmarks, microarray, uncertainty generation."""
+
+from repro.datagen.benchmarks import (
+    BENCHMARK_SPECS,
+    BenchmarkSpec,
+    list_benchmarks,
+    make_benchmark,
+    make_blobs_uncertain,
+    make_classification_like,
+)
+from repro.datagen.microarray import (
+    MICROARRAY_SPECS,
+    MicroarraySpec,
+    list_microarrays,
+    make_microarray,
+    make_probe_level_dataset,
+)
+from repro.datagen.moving_objects import make_moving_objects
+from repro.datagen.uncertainty_gen import (
+    PDF_FAMILIES,
+    UncertainDataPair,
+    UncertaintyGenerator,
+)
+
+__all__ = [
+    "BENCHMARK_SPECS",
+    "BenchmarkSpec",
+    "list_benchmarks",
+    "make_benchmark",
+    "make_blobs_uncertain",
+    "make_classification_like",
+    "MICROARRAY_SPECS",
+    "MicroarraySpec",
+    "list_microarrays",
+    "make_microarray",
+    "make_probe_level_dataset",
+    "make_moving_objects",
+    "PDF_FAMILIES",
+    "UncertainDataPair",
+    "UncertaintyGenerator",
+]

@@ -1,0 +1,80 @@
+"""Run-to-run stability of non-deterministic clusterers.
+
+The paper averages 50 runs "to avoid that clustering results were
+biased by random chance"; this module quantifies the flip side — how
+much a method's output *varies* across those runs.  Stability is the
+mean pairwise agreement (Adjusted Rand Index by default) between the
+labelings produced from independent seeds; 1 means the algorithm is
+effectively deterministic on the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.clustering.base import UncertainClusterer
+from repro.evaluation.external import adjusted_rand_index
+from repro.exceptions import InvalidParameterError
+from repro.objects.dataset import UncertainDataset
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Pairwise-agreement statistics over independent runs."""
+
+    mean_agreement: float
+    min_agreement: float
+    max_agreement: float
+    n_runs: int
+
+    @property
+    def is_stable(self) -> bool:
+        """Heuristic flag: mean pairwise agreement above 0.9."""
+        return self.mean_agreement > 0.9
+
+
+def clustering_stability(
+    algorithm: UncertainClusterer,
+    dataset: UncertainDataset,
+    n_runs: int = 10,
+    seed: SeedLike = None,
+    agreement: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+) -> StabilityResult:
+    """Measure run-to-run agreement of ``algorithm`` on ``dataset``.
+
+    Parameters
+    ----------
+    algorithm:
+        Any library clusterer.
+    n_runs:
+        Independent runs to compare (all pairs are scored).
+    agreement:
+        Pairwise labeling-agreement function; defaults to the Adjusted
+        Rand Index.
+    """
+    if n_runs < 2:
+        raise InvalidParameterError(f"n_runs must be >= 2, got {n_runs}")
+    score = agreement if agreement is not None else adjusted_rand_index
+    labelings: List[np.ndarray] = []
+    for run_seed in spawn_rngs(seed, n_runs):
+        labelings.append(algorithm.fit(dataset, seed=run_seed).labels)
+    values = []
+    for i in range(n_runs - 1):
+        for j in range(i + 1, n_runs):
+            # ARI expects nonnegative reference labels; remap noise.
+            ref = labelings[j].copy()
+            if np.any(ref < 0):
+                ref[ref < 0] = ref.max() + 1
+            values.append(float(score(labelings[i], ref)))
+    arr = np.array(values)
+    return StabilityResult(
+        mean_agreement=float(arr.mean()),
+        min_agreement=float(arr.min()),
+        max_agreement=float(arr.max()),
+        n_runs=n_runs,
+    )

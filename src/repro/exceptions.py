@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still distinguishing the failure class when they
+need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An argument value is outside the accepted domain.
+
+    Raised eagerly at construction/call time so that misconfiguration
+    surfaces at the call site instead of deep inside an iteration loop.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Two entities that must share dimensionality do not.
+
+    Examples: an uncertain object compared against a point of different
+    length, or a dataset mixing objects of different dimensionality.
+    """
+
+
+class EmptyClusterError(ReproError, RuntimeError):
+    """An operation that needs a non-empty cluster received an empty one."""
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """An operation that needs a non-empty dataset received an empty one."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result attribute was accessed before the model was fitted."""
+
+
+class ConvergenceWarning(UserWarning):
+    """A clustering run hit its iteration cap before converging."""
+
+
+class UnsupportedDistributionError(ReproError, TypeError):
+    """A distribution family does not support the requested operation."""

@@ -1,0 +1,66 @@
+"""Experiment runners regenerating every table and figure of the paper (S23)."""
+
+from repro.experiments.config import (
+    ACCURACY_ROSTER,
+    FAST_ROSTER,
+    SCALABILITY_ROSTER,
+    SLOW_ROSTER,
+    ExperimentConfig,
+    build_algorithm,
+)
+from repro.experiments.figure4 import FIGURE4_DATASETS, Figure4Report, run_figure4
+from repro.experiments.shapes import ShapeCheck, run_all_checks
+from repro.experiments.reporting import (
+    PaperArtifacts,
+    collect_artifacts,
+    render_markdown,
+    write_experiments_report,
+)
+from repro.experiments.figure5 import (
+    FIGURE5_FRACTIONS,
+    FIGURE5_K,
+    Figure5Report,
+    run_figure5,
+)
+from repro.experiments.table2 import (
+    TABLE2_DATASETS,
+    Table2Cell,
+    Table2Report,
+    run_table2,
+)
+from repro.experiments.table3 import (
+    TABLE3_CLUSTER_COUNTS,
+    TABLE3_DATASETS,
+    Table3Report,
+    run_table3,
+)
+
+__all__ = [
+    "ACCURACY_ROSTER",
+    "FAST_ROSTER",
+    "SCALABILITY_ROSTER",
+    "SLOW_ROSTER",
+    "ExperimentConfig",
+    "build_algorithm",
+    "FIGURE4_DATASETS",
+    "ShapeCheck",
+    "run_all_checks",
+    "PaperArtifacts",
+    "collect_artifacts",
+    "render_markdown",
+    "write_experiments_report",
+    "Figure4Report",
+    "run_figure4",
+    "FIGURE5_FRACTIONS",
+    "FIGURE5_K",
+    "Figure5Report",
+    "run_figure5",
+    "TABLE2_DATASETS",
+    "Table2Cell",
+    "Table2Report",
+    "run_table2",
+    "TABLE3_CLUSTER_COUNTS",
+    "TABLE3_DATASETS",
+    "Table3Report",
+    "run_table3",
+]

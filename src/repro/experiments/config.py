@@ -1,0 +1,127 @@
+"""Experiment configuration and the algorithm rosters of the paper (S23).
+
+The paper evaluates a fixed roster of algorithms per experiment:
+
+* accuracy (Tables 2-3): FDBSCAN, FOPTICS, UAHC, UK-medoids, UK-means,
+  MMVar, UCPC;
+* efficiency (Figure 4): the above plus basic UK-means, MinMax-BB and
+  VDBiP, split into a "slower" and a "faster" group;
+* scalability (Figure 5): the fast algorithms only.
+
+Defaults here run paper-*shaped* experiments at laptop scale; pass
+``scale=1.0`` and ``n_runs=50`` to match the paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering import (
+    FDBSCAN,
+    FOPTICS,
+    MMVar,
+    UAHC,
+    UCPC,
+    BasicUKMeans,
+    MinMaxBB,
+    UKMeans,
+    UKMedoids,
+    VDBiP,
+)
+from repro.clustering.base import UncertainClusterer
+from repro.exceptions import InvalidParameterError
+
+#: Display order of the accuracy-roster columns (matches Table 2).
+ACCURACY_ROSTER = ("FDB", "FOPT", "UAHC", "UKmed", "UKM", "MMV", "UCPC")
+
+#: The "slower" group of Figure 4 (left-hand plots).
+SLOW_ROSTER = ("UKmed", "bUKM", "UAHC", "FDB", "FOPT")
+
+#: The "faster" group of Figure 4 (right-hand plots).
+FAST_ROSTER = ("UKM", "MMV", "MinMax-BB", "VDBiP")
+
+#: Figure 5 scalability roster.
+SCALABILITY_ROSTER = ("UKM", "MMV", "MinMax-BB", "VDBiP", "UCPC")
+
+
+def build_algorithm(name: str, n_clusters: int, n_samples: int = 32) -> UncertainClusterer:
+    """Instantiate a roster algorithm by its paper abbreviation.
+
+    Parameters
+    ----------
+    name:
+        Paper abbreviation (``"UCPC"``, ``"UKM"``, ``"MMV"``, ``"UKmed"``,
+        ``"bUKM"``, ``"MinMax-BB"``, ``"VDBiP"``, ``"FDB"``, ``"FOPT"``,
+        ``"UAHC"``).
+    n_clusters:
+        Desired cluster count (ignored by FDBSCAN, which discovers it).
+    n_samples:
+        Monte-Carlo samples for the sample-based algorithms.
+    """
+    factories: Dict[str, Callable[[], UncertainClusterer]] = {
+        "UCPC": lambda: UCPC(n_clusters),
+        "UKM": lambda: UKMeans(n_clusters),
+        "MMV": lambda: MMVar(n_clusters),
+        "UKmed": lambda: UKMedoids(n_clusters),
+        "bUKM": lambda: BasicUKMeans(n_clusters, n_samples=n_samples),
+        "MinMax-BB": lambda: MinMaxBB(n_clusters, n_samples=n_samples),
+        "VDBiP": lambda: VDBiP(n_clusters, n_samples=n_samples),
+        "FDB": lambda: FDBSCAN(n_samples=n_samples),
+        # FOPTICS extracts its flat clustering at the requested cluster
+        # count so the F-measure comparison is k-comparable across
+        # algorithms (FDBSCAN, which has no ordering to cut, stays free).
+        "FOPT": lambda: FOPTICS(n_samples=n_samples, n_clusters=n_clusters),
+        "UAHC": lambda: UAHC(n_clusters),
+    }
+    if name not in factories:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; known: {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs of the experiment runners.
+
+    Attributes
+    ----------
+    scale:
+        Fraction of the paper's dataset sizes to generate (1.0 = paper
+        scale).
+    max_objects:
+        Hard cap on benchmark dataset sizes, applied after ``scale``;
+        keeps the big benchmarks (Yeast...Letter) laptop-sized while the
+        small ones stay at paper scale.  ``None`` disables the cap (use
+        with ``scale=1.0`` for full paper-scale runs).
+    n_runs:
+        Runs averaged per measurement (paper: 50).
+    seed:
+        Master seed; every (dataset, family, algorithm, run) derives an
+        independent stream from it.
+    n_samples:
+        Monte-Carlo samples for sample-based algorithms.
+    spread:
+        Uncertainty magnitude for the Section 5.1 generator.
+    mass:
+        Case-2 region probability mass (paper: 0.95).
+    """
+
+    scale: float = 1.0
+    max_objects: Optional[int] = 600
+    n_runs: int = 5
+    seed: int = 2012
+    n_samples: int = 32
+    spread: float = 1.0
+    mass: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.scale <= 1.0):
+            raise InvalidParameterError(f"scale must be in (0, 1], got {self.scale}")
+        if self.max_objects is not None and self.max_objects < 1:
+            raise InvalidParameterError(
+                f"max_objects must be >= 1, got {self.max_objects}"
+            )
+        if self.n_runs < 1:
+            raise InvalidParameterError(f"n_runs must be >= 1, got {self.n_runs}")

@@ -1,0 +1,127 @@
+"""Figure 4 — efficiency comparison (E3).
+
+The paper plots on-line clustering runtimes (milliseconds) on the two
+largest benchmarks (Abalone, Letter) and the two real datasets, with the
+algorithms split into a "slower" group (UK-medoids, basic UK-means,
+UAHC, FDBSCAN, FOPTICS) and a "faster" group (UK-means, MMVar,
+MinMax-BB, VDBiP); UCPC is drawn in both plots as the common reference.
+
+Expected reproduction shape: the slow group lands orders of magnitude
+above UCPC; UCPC ≈ UK-means ≈ MMVar; the pruning variants sit between
+basic UK-means and fast UK-means.  Off-line phases (moment/sample/
+pairwise-distance precomputation, pruning-structure construction) are
+excluded, matching Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.benchmarks import make_benchmark
+from repro.datagen.microarray import make_microarray
+from repro.datagen.uncertainty_gen import UncertaintyGenerator
+from repro.experiments.config import (
+    FAST_ROSTER,
+    SLOW_ROSTER,
+    ExperimentConfig,
+    build_algorithm,
+)
+from repro.objects.dataset import UncertainDataset
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+
+#: Default datasets of Figure 4 (benchmarks + real stand-ins).
+FIGURE4_DATASETS = ("abalone", "letter", "neuroblastoma", "leukaemia")
+
+
+@dataclass
+class Figure4Report:
+    """Mean clustering runtimes (milliseconds) per dataset and algorithm."""
+
+    datasets: Tuple[str, ...]
+    slow_group: Tuple[str, ...]
+    fast_group: Tuple[str, ...]
+    runtimes_ms: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Two tables mirroring the paper's left/right plot split."""
+        blocks = []
+        for title, roster in (
+            ("Figure 4 (slower group) — runtimes [ms]", self.slow_group),
+            ("Figure 4 (faster group) — runtimes [ms]", self.fast_group),
+        ):
+            columns = list(roster) + ["UCPC"]
+            rows: List[Sequence[object]] = []
+            for ds in self.datasets:
+                rows.append(
+                    [ds] + [self.runtimes_ms[(ds, alg)] for alg in columns]
+                )
+            blocks.append(
+                format_table(
+                    rows, headers=["data"] + columns, float_fmt=".2f", title=title
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def orders_of_magnitude_vs_ucpc(self, dataset: str, algorithm: str) -> float:
+        """log10 runtime ratio vs UCPC (positive = slower than UCPC)."""
+        ucpc = self.runtimes_ms[(dataset, "UCPC")]
+        other = self.runtimes_ms[(dataset, algorithm)]
+        return float(np.log10(max(other, 1e-9) / max(ucpc, 1e-9)))
+
+
+def _load_dataset(
+    name: str, config: ExperimentConfig, seed
+) -> UncertainDataset:
+    """Uncertain dataset for one Figure 4 workload."""
+    if name in ("neuroblastoma", "leukaemia"):
+        from repro.datagen.microarray import MICROARRAY_SPECS
+
+        scale = config.scale
+        if config.max_objects is not None:
+            scale = min(
+                scale, config.max_objects / MICROARRAY_SPECS[name].n_genes
+            )
+        return make_microarray(name, scale=scale, mass=config.mass, seed=seed)
+    points, labels = make_benchmark(
+        name, scale=config.scale, seed=seed, max_objects=config.max_objects
+    )
+    generator = UncertaintyGenerator(
+        family="normal", spread=config.spread, mass=config.mass
+    )
+    return generator.uncertain_dataset(points, labels, seed=seed)
+
+
+def run_figure4(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = FIGURE4_DATASETS,
+    slow_group: Sequence[str] = SLOW_ROSTER,
+    fast_group: Sequence[str] = FAST_ROSTER,
+    n_clusters: int = 10,
+) -> Figure4Report:
+    """Regenerate Figure 4's runtime comparison at the configured scale."""
+    config = config or ExperimentConfig(scale=0.02, n_runs=3)
+    report = Figure4Report(
+        datasets=tuple(datasets),
+        slow_group=tuple(slow_group),
+        fast_group=tuple(fast_group),
+    )
+    streams = spawn_rngs(config.seed, len(datasets))
+    roster = list(dict.fromkeys(list(slow_group) + list(fast_group) + ["UCPC"]))
+    for ds_name, ds_rng in zip(datasets, streams):
+        dataset = _load_dataset(ds_name, config, ds_rng)
+        k = min(n_clusters, len(dataset) - 1)
+        for alg_name in roster:
+            algorithm = build_algorithm(
+                alg_name, n_clusters=k, n_samples=config.n_samples
+            )
+            run_seeds = spawn_rngs(ds_rng, config.n_runs)
+            times = np.empty(config.n_runs)
+            for run, run_seed in enumerate(run_seeds):
+                result = algorithm.fit(dataset, seed=run_seed)
+                times[run] = result.runtime_seconds
+            report.runtimes_ms[(ds_name, alg_name)] = float(times.mean() * 1e3)
+    return report

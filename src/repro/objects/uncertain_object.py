@@ -1,0 +1,180 @@
+"""The uncertain object — the unit of data every algorithm clusters.
+
+Definition 1 of the paper: an uncertain object is a pair ``(R, f)``.
+:class:`UncertainObject` wraps a :class:`MultivariateDistribution`
+(which carries both region and pdf), caches its moment vectors — the
+quantities every partitional algorithm precomputes in its off-line phase
+(Line 1 of Algorithm 1) — and carries an optional label/identifier used
+by the evaluation protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._typing import FloatArray, SeedLike, VectorLike
+from repro.uncertainty.base import MultivariateDistribution
+from repro.uncertainty.normal import TruncatedNormalDistribution
+from repro.uncertainty.point import MultivariatePointMass
+from repro.uncertainty.product import IndependentProduct
+from repro.uncertainty.region import BoxRegion
+from repro.uncertainty.uniform import UniformDistribution
+from repro.utils.validation import ensure_vector
+
+
+class UncertainObject:
+    """An uncertain data object ``o = (R, f)`` with cached moments.
+
+    Parameters
+    ----------
+    distribution:
+        The multivariate distribution describing the object.
+    label:
+        Optional class label (used only by external validity criteria,
+        never by the clustering algorithms themselves).
+    object_id:
+        Optional stable identifier; defaults to ``None``.
+
+    Notes
+    -----
+    The moment vectors ``mu(o)``, ``mu2(o)``, ``sigma^2(o)`` (Eqs.
+    (2)-(3)) are computed once at construction — mirroring the paper's
+    off-line phase — and exposed as read-only arrays.
+    """
+
+    __slots__ = ("_dist", "_mu", "_mu2", "_sigma2", "label", "object_id")
+
+    def __init__(
+        self,
+        distribution: MultivariateDistribution,
+        label: Optional[int] = None,
+        object_id: Optional[int] = None,
+    ):
+        self._dist = distribution
+        self._mu = np.array(distribution.mean_vector, dtype=np.float64)
+        self._mu2 = np.array(distribution.second_moment_vector, dtype=np.float64)
+        self._sigma2 = np.maximum(self._mu2 - self._mu**2, 0.0)
+        self._mu.setflags(write=False)
+        self._mu2.setflags(write=False)
+        self._sigma2.setflags(write=False)
+        self.label = label
+        self.object_id = object_id
+
+    # ------------------------------------------------------------------
+    # Model accessors
+    # ------------------------------------------------------------------
+    @property
+    def distribution(self) -> MultivariateDistribution:
+        """The underlying multivariate distribution ``f``."""
+        return self._dist
+
+    @property
+    def region(self) -> BoxRegion:
+        """The domain region ``R``."""
+        return self._dist.region
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality m of the object."""
+        return self._mu.shape[0]
+
+    # ------------------------------------------------------------------
+    # Moments (Eqs. (2)-(6))
+    # ------------------------------------------------------------------
+    @property
+    def mu(self) -> FloatArray:
+        """Expected-value vector ``mu(o)``."""
+        return self._mu
+
+    @property
+    def mu2(self) -> FloatArray:
+        """Raw second-order moment vector ``mu2(o)``."""
+        return self._mu2
+
+    @property
+    def sigma2(self) -> FloatArray:
+        """Variance vector ``sigma^2(o)``."""
+        return self._sigma2
+
+    @property
+    def total_variance(self) -> float:
+        """Scalar variance ``sigma^2(o) = ||sigma^2(o)||_1`` (Eq. (6))."""
+        return float(self._sigma2.sum())
+
+    # ------------------------------------------------------------------
+    # Sampling / density passthrough
+    # ------------------------------------------------------------------
+    def sample(self, size: int, seed: SeedLike = None) -> FloatArray:
+        """Draw ``size`` realizations of the object, shape ``(size, m)``."""
+        return self._dist.sample(size, seed)
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        """Density of the object's pdf at the query points."""
+        return self._dist.pdf(points)
+
+    def __repr__(self) -> str:
+        label_part = f", label={self.label}" if self.label is not None else ""
+        return (
+            f"UncertainObject(dim={self.dim}, mu={np.round(self._mu, 4)}"
+            f"{label_part})"
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_point(point: VectorLike, label: Optional[int] = None) -> "UncertainObject":
+        """Deterministic object (zero-variance point mass)."""
+        return UncertainObject(MultivariatePointMass(point), label=label)
+
+    @staticmethod
+    def uniform_box(
+        center: VectorLike,
+        half_widths: VectorLike,
+        label: Optional[int] = None,
+    ) -> "UncertainObject":
+        """Uniform object on a box centered at ``center``."""
+        c = ensure_vector(center, "center")
+        h = ensure_vector(half_widths, "half_widths", dim=c.shape[0])
+        marginals = [
+            UniformDistribution.centered(float(cj), float(hj))
+            for cj, hj in zip(c, h)
+        ]
+        return UncertainObject(IndependentProduct(marginals), label=label)
+
+    @staticmethod
+    def gaussian(
+        mean: VectorLike,
+        std: VectorLike,
+        mass: float = 0.95,
+        label: Optional[int] = None,
+    ) -> "UncertainObject":
+        """Truncated-Normal object centered at ``mean``.
+
+        Each marginal is a Normal truncated to its central ``mass``
+        interval (the paper's Case-2 construction).
+        """
+        m = ensure_vector(mean, "mean")
+        s = ensure_vector(std, "std", dim=m.shape[0])
+        marginals = [
+            TruncatedNormalDistribution.central_mass(float(mj), float(sj), mass)
+            for mj, sj in zip(m, s)
+        ]
+        return UncertainObject(IndependentProduct(marginals), label=label)
+
+
+def objects_dim(objects: Sequence[UncertainObject]) -> int:
+    """Common dimensionality of a non-empty object sequence."""
+    from repro.exceptions import DimensionMismatchError, EmptyDatasetError
+
+    if not objects:
+        raise EmptyDatasetError("object sequence is empty")
+    dim = objects[0].dim
+    for obj in objects:
+        if obj.dim != dim:
+            raise DimensionMismatchError(
+                "all objects must share the same dimensionality"
+            )
+    return dim

@@ -1,0 +1,119 @@
+"""Finite mixtures of multivariate distributions.
+
+The MMVar algorithm's cluster centroid (Eq. (10) of the paper) is the
+*mixture model* of the cluster: region = union of member regions, pdf =
+average of member pdfs.  :class:`MixtureDistribution` implements that
+object with exact moments (Lemma 2: mixture moments are the weighted
+averages of component moments).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._typing import FloatArray, SeedLike, VectorLike
+from repro.exceptions import InvalidParameterError
+from repro.uncertainty.base import MultivariateDistribution
+from repro.uncertainty.region import BoxRegion
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import ensure_vector
+
+
+class MixtureDistribution(MultivariateDistribution):
+    """Weighted finite mixture of multivariate components.
+
+    Parameters
+    ----------
+    components:
+        Component distributions, all of the same dimensionality.
+    weights:
+        Mixing proportions; default is uniform (the MMVar centroid uses
+        weight ``1/|C|`` per member).  Must be nonnegative and sum to 1.
+    """
+
+    __slots__ = ("_components", "_weights", "_region", "_mean", "_second")
+
+    def __init__(
+        self,
+        components: Sequence[MultivariateDistribution],
+        weights: Optional[VectorLike] = None,
+    ):
+        if not components:
+            raise InvalidParameterError("at least one component is required")
+        self._components = tuple(components)
+        dim = self._components[0].dim
+        for comp in self._components:
+            if comp.dim != dim:
+                raise InvalidParameterError(
+                    "all mixture components must share dimensionality"
+                )
+        n = len(self._components)
+        if weights is None:
+            self._weights = np.full(n, 1.0 / n)
+        else:
+            self._weights = ensure_vector(weights, "weights", dim=n)
+            if np.any(self._weights < 0):
+                raise InvalidParameterError("weights must be nonnegative")
+            total = float(self._weights.sum())
+            if not np.isclose(total, 1.0, rtol=1e-9, atol=1e-12):
+                raise InvalidParameterError(
+                    f"weights must sum to 1, got {total}"
+                )
+        self._weights.setflags(write=False)
+
+        region = self._components[0].region
+        for comp in self._components[1:]:
+            region = region.union_box(comp.region)
+        self._region = region
+
+        # Lemma 2: moments of a mixture are the weighted component moments.
+        self._mean = np.zeros(dim)
+        self._second = np.zeros(dim)
+        for weight, comp in zip(self._weights, self._components):
+            self._mean += weight * comp.mean_vector
+            self._second += weight * comp.second_moment_vector
+        self._mean.setflags(write=False)
+        self._second.setflags(write=False)
+
+    @property
+    def components(self) -> tuple[MultivariateDistribution, ...]:
+        """The mixture components."""
+        return self._components
+
+    @property
+    def weights(self) -> FloatArray:
+        """The mixing proportions."""
+        return self._weights
+
+    @property
+    def region(self) -> BoxRegion:
+        return self._region
+
+    @property
+    def mean_vector(self) -> FloatArray:
+        return self._mean
+
+    @property
+    def second_moment_vector(self) -> FloatArray:
+        return self._second
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        pts = self._points_matrix(points)
+        density = np.zeros(pts.shape[0])
+        for weight, comp in zip(self._weights, self._components):
+            if weight > 0.0:
+                density += weight * comp.pdf(pts)
+        return density
+
+    def sample(self, size: int, seed: SeedLike = None) -> FloatArray:
+        rng = ensure_rng(seed)
+        counts = rng.multinomial(size, self._weights)
+        chunks = []
+        for count, comp in zip(counts, self._components):
+            if count > 0:
+                chunks.append(comp.sample(int(count), rng))
+        samples = np.vstack(chunks)
+        rng.shuffle(samples, axis=0)
+        return samples

@@ -1,0 +1,198 @@
+"""Axis-aligned box domain regions.
+
+Definition 1 of the paper models an uncertain object as a pair
+``(R, f)`` where ``R`` is an m-dimensional region.  Theorem 1 (and all
+prior art the paper compares against) assumes hyper-rectangular regions
+``R = [l1, u1] x ... x [lm, um]``, which is what :class:`BoxRegion`
+implements.  Boxes also supply the min/max distance bounds that the
+MinMax-BB pruning algorithm requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro._typing import FloatArray, VectorLike
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.utils.validation import ensure_vector
+
+
+class BoxRegion:
+    """An axis-aligned hyper-rectangle ``[l1, u1] x ... x [lm, um]``.
+
+    Parameters
+    ----------
+    lower, upper:
+        Per-dimension bounds; must satisfy ``lower <= upper`` element-wise
+        (degenerate zero-width dimensions are allowed, which is how a
+        point-mass object is represented).
+    """
+
+    __slots__ = ("_lower", "_upper")
+
+    def __init__(self, lower: VectorLike, upper: VectorLike):
+        self._lower = ensure_vector(lower, "lower", allow_infinite=True)
+        self._upper = ensure_vector(
+            upper, "upper", dim=self._lower.shape[0], allow_infinite=True
+        )
+        if np.any(self._lower > self._upper):
+            raise InvalidParameterError(
+                "lower bounds must not exceed upper bounds"
+            )
+        self._lower.setflags(write=False)
+        self._upper.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def lower(self) -> FloatArray:
+        """Read-only vector of per-dimension lower bounds."""
+        return self._lower
+
+    @property
+    def upper(self) -> FloatArray:
+        """Read-only vector of per-dimension upper bounds."""
+        return self._upper
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality m of the region."""
+        return self._lower.shape[0]
+
+    @property
+    def widths(self) -> FloatArray:
+        """Per-dimension widths ``upper - lower``."""
+        return self._upper - self._lower
+
+    @property
+    def center(self) -> FloatArray:
+        """Geometric center of the box."""
+        return 0.5 * (self._lower + self._upper)
+
+    @property
+    def volume(self) -> float:
+        """Lebesgue volume (product of widths)."""
+        return float(np.prod(self.widths))
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        """Iterate per-dimension ``(lower, upper)`` interval pairs."""
+        for lo, hi in zip(self._lower, self._upper):
+            yield float(lo), float(hi)
+
+    def __repr__(self) -> str:
+        intervals = ", ".join(f"[{lo:g}, {hi:g}]" for lo, hi in self)
+        return f"BoxRegion({intervals})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoxRegion):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._lower, other._lower)
+            and np.array_equal(self._upper, other._upper)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._lower.tobytes(), self._upper.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Geometric queries
+    # ------------------------------------------------------------------
+    def contains(self, point: VectorLike, atol: float = 1e-12) -> bool:
+        """Whether ``point`` lies inside the box (with tolerance ``atol``)."""
+        p = ensure_vector(point, "point", dim=self.dim)
+        return bool(
+            np.all(p >= self._lower - atol) and np.all(p <= self._upper + atol)
+        )
+
+    def clip(self, point: VectorLike) -> FloatArray:
+        """Project ``point`` onto the box (component-wise clamp)."""
+        p = ensure_vector(point, "point", dim=self.dim)
+        return np.clip(p, self._lower, self._upper)
+
+    def min_dist_sq(self, point: VectorLike) -> float:
+        """Minimum squared Euclidean distance from ``point`` to the box.
+
+        Zero when the point is inside.  This is the ``MinDist`` bound used
+        by MinMax-BB pruning.
+        """
+        p = ensure_vector(point, "point", dim=self.dim)
+        below = np.maximum(self._lower - p, 0.0)
+        above = np.maximum(p - self._upper, 0.0)
+        gap = below + above
+        return float(gap @ gap)
+
+    def max_dist_sq(self, point: VectorLike) -> float:
+        """Maximum squared Euclidean distance from ``point`` to the box.
+
+        Attained at the farthest corner.  This is the ``MaxDist`` bound
+        used by MinMax-BB pruning.
+        """
+        p = ensure_vector(point, "point", dim=self.dim)
+        far = np.maximum(np.abs(p - self._lower), np.abs(p - self._upper))
+        return float(far @ far)
+
+    def intersects(self, other: "BoxRegion") -> bool:
+        """Whether this box and ``other`` overlap (closed boxes)."""
+        self._check_same_dim(other)
+        return bool(
+            np.all(self._lower <= other._upper)
+            and np.all(other._lower <= self._upper)
+        )
+
+    def union_box(self, other: "BoxRegion") -> "BoxRegion":
+        """Smallest box containing both boxes (used by the MMVar centroid)."""
+        self._check_same_dim(other)
+        return BoxRegion(
+            np.minimum(self._lower, other._lower),
+            np.maximum(self._upper, other._upper),
+        )
+
+    def _check_same_dim(self, other: "BoxRegion") -> None:
+        if other.dim != self.dim:
+            raise DimensionMismatchError(
+                f"regions have different dimensionality: {self.dim} vs {other.dim}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_intervals(intervals: Sequence[Tuple[float, float]]) -> "BoxRegion":
+        """Build a region from a sequence of ``(lower, upper)`` pairs."""
+        if not intervals:
+            raise InvalidParameterError("at least one interval is required")
+        lower = [pair[0] for pair in intervals]
+        upper = [pair[1] for pair in intervals]
+        return BoxRegion(lower, upper)
+
+    @staticmethod
+    def point(point: VectorLike) -> "BoxRegion":
+        """Degenerate region for a deterministic point."""
+        p = ensure_vector(point, "point")
+        return BoxRegion(p, p)
+
+
+def scaled_minkowski_sum(regions: Sequence[BoxRegion]) -> BoxRegion:
+    """Region of the U-centroid of a cluster (second part of Theorem 1).
+
+    Given member regions ``R_i``, the centroid's region is
+    ``[ (1/n) sum l_i^(j), (1/n) sum u_i^(j) ]`` per dimension ``j`` —
+    i.e. the Minkowski average of the member boxes.
+    """
+    if not regions:
+        raise InvalidParameterError("at least one region is required")
+    dim = regions[0].dim
+    lower = np.zeros(dim)
+    upper = np.zeros(dim)
+    for region in regions:
+        if region.dim != dim:
+            raise DimensionMismatchError(
+                "all regions must share the same dimensionality"
+            )
+        lower += region.lower
+        upper += region.upper
+    count = float(len(regions))
+    return BoxRegion(lower / count, upper / count)

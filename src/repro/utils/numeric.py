@@ -1,0 +1,80 @@
+"""Numerically careful scalar helpers used throughout the library.
+
+The clustering objectives in this library are sums of many small
+nonnegative terms (per-dimension moments over thousands of objects), so
+we provide compensated summation and tolerant comparisons in one place
+instead of sprinkling ad-hoc epsilons through the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._typing import FloatArray
+
+#: Default relative tolerance for "objective did not improve" tests.
+DEFAULT_RTOL = 1e-9
+
+#: Default absolute tolerance paired with :data:`DEFAULT_RTOL`.
+DEFAULT_ATOL = 1e-12
+
+
+def kahan_sum(values: Iterable[float]) -> float:
+    """Compensated (Kahan) summation of a scalar iterable.
+
+    Keeps a running compensation term so that accumulating many values of
+    differing magnitude loses far less precision than a naive loop.
+    """
+    total = 0.0
+    compensation = 0.0
+    for value in values:
+        y = float(value) - compensation
+        t = total + y
+        compensation = (t - total) - y
+        total = t
+    return total
+
+
+def stable_norm_sq(vec: FloatArray) -> float:
+    """Squared Euclidean norm computed via a dot product.
+
+    ``float(vec @ vec)`` is both faster and more accurate than
+    ``np.sum(vec ** 2)`` for the small dense vectors used here.
+    """
+    vec = np.asarray(vec, dtype=np.float64)
+    return float(vec @ vec)
+
+
+def safe_sqrt(value: float) -> float:
+    """Square root that clips tiny negative round-off to zero.
+
+    Corollary 1 of the paper updates the Υ term via
+    ``(sqrt(Υ) ± μ)²``; accumulated round-off can push Υ a hair below
+    zero, which must read as zero rather than NaN.
+    """
+    if value < 0.0:
+        if value < -1e-8:
+            raise ValueError(f"safe_sqrt of significantly negative value {value}")
+        return 0.0
+    return float(np.sqrt(value))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured − reference| scaled by max(1, |reference|)."""
+    return abs(measured - reference) / max(1.0, abs(reference))
+
+
+def is_close(a: float, b: float, rtol: float = DEFAULT_RTOL, atol: float = DEFAULT_ATOL) -> bool:
+    """Symmetric tolerant float comparison."""
+    return bool(np.isclose(a, b, rtol=rtol, atol=atol))
+
+
+def improved(new_value: float, old_value: float, rtol: float = DEFAULT_RTOL) -> bool:
+    """Whether ``new_value`` is a *strict* improvement (decrease) on ``old_value``.
+
+    Used by local-search loops to decide whether a candidate relocation
+    lowers the objective by more than numerical noise.
+    """
+    return new_value < old_value - rtol * max(1.0, abs(old_value))

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment runners print the same rows the paper's tables report;
+this module turns lists of rows into aligned monospace tables without
+pulling in any formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def _render_cell(cell: Cell, float_fmt: str) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def format_table(
+    rows: Iterable[Sequence[Cell]],
+    headers: Optional[Sequence[str]] = None,
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences; cells may be strings, numbers or None.
+    headers:
+        Optional column headers.
+    float_fmt:
+        ``format()`` spec applied to float cells (default three decimals,
+        matching the paper's tables).
+    title:
+        Optional title line printed above the table.
+    """
+    rendered: List[List[str]] = [
+        [_render_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    if headers is not None:
+        header_row = [str(h) for h in headers]
+    else:
+        header_row = []
+
+    all_rows = ([header_row] if header_row else []) + rendered
+    if not all_rows:
+        return title or ""
+    n_cols = max(len(row) for row in all_rows)
+    widths = [0] * n_cols
+    for row in all_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        padded = [cell.rjust(widths[idx]) for idx, cell in enumerate(row)]
+        return "  ".join(padded)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if header_row:
+        lines.append(fmt_row(header_row))
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Wall-clock timing helpers for the efficiency experiments.
+
+The paper's Figures 4–5 report clustering runtimes; :class:`Stopwatch`
+gives the experiment harness a tiny, dependency-free way to time code
+sections with pause/resume semantics (needed to exclude "off-line"
+phases exactly as the paper does).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock stopwatch with pause/resume.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.running():
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed_seconds >= 0.0
+    True
+    """
+
+    elapsed_seconds: float = 0.0
+    _started_at: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        """Begin (or resume) timing; no-op if already running."""
+        if not self._running:
+            self._started_at = time.perf_counter()
+            self._running = True
+
+    def stop(self) -> float:
+        """Pause timing and return total accumulated seconds."""
+        if self._running:
+            self.elapsed_seconds += time.perf_counter() - self._started_at
+            self._running = False
+        return self.elapsed_seconds
+
+    def reset(self) -> None:
+        """Zero the accumulator and stop the watch."""
+        self.elapsed_seconds = 0.0
+        self._running = False
+
+    @contextmanager
+    def running(self) -> Iterator["Stopwatch"]:
+        """Context manager that times the enclosed block."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Accumulated milliseconds (the unit used by the paper's plots)."""
+        return self.elapsed_seconds * 1e3
+
+
+def timed(func: Callable[..., T], *args: object, **kwargs: object) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,93 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_blobs_uncertain
+from repro.objects import UncertainDataset, UncertainObject
+from repro.uncertainty import (
+    IndependentProduct,
+    TruncatedExponentialDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blob_dataset():
+    """Small, well-separated 3-cluster uncertain dataset."""
+    return make_blobs_uncertain(
+        n_objects=60, n_clusters=3, n_attributes=2, separation=5.0, seed=42
+    )
+
+
+@pytest.fixture
+def mixed_cluster():
+    """A heterogeneous cluster mixing all three pdf families."""
+    objects = [
+        UncertainObject(
+            IndependentProduct(
+                [
+                    UniformDistribution(0.0, 2.0),
+                    TruncatedNormalDistribution(1.0, 0.5, -0.5, 2.5),
+                ]
+            )
+        ),
+        UncertainObject(
+            IndependentProduct(
+                [
+                    TruncatedExponentialDistribution(0.5, 2.0, cutoff=3.0),
+                    UniformDistribution(-1.0, 1.0),
+                ]
+            )
+        ),
+        UncertainObject.gaussian([2.0, -1.0], [0.3, 0.8], mass=0.95),
+        UncertainObject.uniform_box([0.5, 0.5], [1.0, 0.25]),
+        UncertainObject.from_point([1.5, 0.0]),
+    ]
+    return objects
+
+
+@pytest.fixture
+def mixed_dataset(mixed_cluster):
+    """The mixed cluster wrapped as a dataset."""
+    return UncertainDataset(mixed_cluster)
+
+
+def random_uncertain_objects(rng, n, dim, families=("uniform", "normal", "exponential")):
+    """Helper: n random uncertain objects of dimension dim.
+
+    Importable from tests via ``from tests.conftest import
+    random_uncertain_objects`` — used by property-style loops that need
+    diverse objects without hypothesis overhead.
+    """
+    objects = []
+    for _ in range(n):
+        marginals = []
+        for _ in range(dim):
+            family = families[rng.integers(0, len(families))]
+            center = float(rng.normal(0.0, 5.0))
+            scale = float(rng.uniform(0.1, 2.0))
+            if family == "uniform":
+                marginals.append(UniformDistribution.centered(center, scale))
+            elif family == "normal":
+                marginals.append(
+                    TruncatedNormalDistribution.central_mass(center, scale, 0.95)
+                )
+            else:
+                direction = 1 if rng.random() < 0.5 else -1
+                marginals.append(
+                    TruncatedExponentialDistribution.with_mean(
+                        center, 1.0 / scale, direction=direction, mass=0.95
+                    )
+                )
+        objects.append(UncertainObject(IndependentProduct(marginals)))
+    return objects

@@ -1,0 +1,131 @@
+"""Tests for clustering base types and initialization strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    kmeanspp_seed_indices,
+    labels_from_clusters,
+    partition_from_seeds,
+    random_partition,
+    random_seed_indices,
+    validate_n_clusters,
+)
+from repro.clustering.base import ClusteringResult
+from repro.exceptions import InvalidParameterError
+
+
+class TestClusteringResult:
+    def test_counts(self):
+        result = ClusteringResult(labels=np.array([0, 0, 1, -1, 2]))
+        assert result.n_objects == 5
+        assert result.n_clusters == 3
+        assert result.n_noise == 1
+
+    def test_clusters_grouping(self):
+        result = ClusteringResult(labels=np.array([1, 0, 1, -1]))
+        assert result.clusters() == [[1], [0, 2]]
+
+    def test_relabeled_compacts_ids(self):
+        result = ClusteringResult(labels=np.array([5, 5, 9, -1]))
+        compact = result.relabeled()
+        assert list(compact.labels) == [0, 0, 1, -1]
+        assert compact.n_clusters == 2
+
+    def test_relabeled_preserves_metadata(self):
+        result = ClusteringResult(
+            labels=np.array([3, 3]),
+            objective=1.5,
+            n_iterations=4,
+            extras={"k": 1},
+        )
+        compact = result.relabeled()
+        assert compact.objective == 1.5
+        assert compact.n_iterations == 4
+        assert compact.extras == {"k": 1}
+
+    def test_all_noise(self):
+        result = ClusteringResult(labels=np.array([-1, -1]))
+        assert result.n_clusters == 0
+        assert result.clusters() == []
+
+    def test_labels_cast_to_int64(self):
+        result = ClusteringResult(labels=[0.0, 1.0])
+        assert result.labels.dtype == np.int64
+
+
+class TestValidateNClusters:
+    def test_valid(self):
+        assert validate_n_clusters(3, 10) == 3
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            validate_n_clusters(0, 10)
+        with pytest.raises(InvalidParameterError):
+            validate_n_clusters(11, 10)
+        with pytest.raises(InvalidParameterError):
+            validate_n_clusters("3", 10)
+
+
+class TestLabelsFromClusters:
+    def test_roundtrip(self):
+        labels = labels_from_clusters([[0, 2], [1]], n_objects=4)
+        assert list(labels) == [0, 1, 0, -1]
+
+
+class TestRandomPartition:
+    def test_every_cluster_nonempty(self):
+        for seed in range(10):
+            labels = random_partition(20, 6, seed=seed)
+            assert np.unique(labels).size == 6
+
+    def test_exact_k_when_n_equals_k(self):
+        labels = random_partition(4, 4, seed=0)
+        assert sorted(labels) == [0, 1, 2, 3]
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            random_partition(3, 4)
+        with pytest.raises(InvalidParameterError):
+            random_partition(3, 0)
+
+
+class TestSeedSelection:
+    def test_random_seed_indices_distinct(self):
+        seeds = random_seed_indices(10, 5, seed=0)
+        assert np.unique(seeds).size == 5
+
+    def test_random_seed_indices_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            random_seed_indices(3, 4)
+
+    def test_kmeanspp_distinct_and_spread(self, blob_dataset):
+        seeds = kmeanspp_seed_indices(blob_dataset, 3, seed=0)
+        assert np.unique(seeds).size == 3
+        # The three seeds should come from three different blobs with
+        # overwhelming probability on well-separated data.
+        labels = blob_dataset.labels[seeds]
+        assert np.unique(labels).size == 3
+
+    def test_kmeanspp_handles_duplicates(self):
+        from repro.objects import UncertainDataset
+
+        pts = np.zeros((5, 2))
+        pts[0] = [1.0, 1.0]
+        data = UncertainDataset.from_points(pts)
+        seeds = kmeanspp_seed_indices(data, 3, seed=0)
+        assert np.unique(seeds).size == 3
+
+    def test_kmeanspp_invalid(self, blob_dataset):
+        with pytest.raises(InvalidParameterError):
+            kmeanspp_seed_indices(blob_dataset, 0, seed=0)
+
+    def test_partition_from_seeds(self, blob_dataset):
+        seeds = kmeanspp_seed_indices(blob_dataset, 3, seed=1)
+        assignment = partition_from_seeds(blob_dataset, seeds)
+        assert assignment.shape == (len(blob_dataset),)
+        # Each seed object is assigned to its own cluster.
+        for c, s in enumerate(seeds):
+            assert assignment[s] == c

@@ -1,0 +1,152 @@
+"""Tests for the three centroid notions (Eq. (7), Eq. (10)/Lemma 2, Theorem 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_uncertain_objects
+
+from repro.centroids import MixtureModelCentroid, UCentroid, ukmeans_centroid
+from repro.centroids.deterministic import ukmeans_centroids_from_assignment
+from repro.exceptions import EmptyClusterError, InvalidParameterError
+from repro.objects import UncertainDataset, UncertainObject
+
+
+class TestUKMeansCentroid:
+    def test_eq7_average_of_means(self, mixed_cluster):
+        center = ukmeans_centroid(mixed_cluster)
+        expected = np.mean([obj.mu for obj in mixed_cluster], axis=0)
+        assert np.allclose(center, expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyClusterError):
+            ukmeans_centroid([])
+
+    def test_from_assignment(self, blob_dataset):
+        assignment = np.array(blob_dataset.labels)
+        centers = ukmeans_centroids_from_assignment(blob_dataset, assignment, 3)
+        for c in range(3):
+            members = [o for o, lab in zip(blob_dataset, assignment) if lab == c]
+            assert np.allclose(centers[c], ukmeans_centroid(members))
+
+    def test_from_assignment_empty_cluster_nan(self, blob_dataset):
+        assignment = np.zeros(len(blob_dataset), dtype=np.int64)
+        centers = ukmeans_centroids_from_assignment(blob_dataset, assignment, 2)
+        assert np.all(np.isnan(centers[1]))
+
+
+class TestMixtureModelCentroid:
+    def test_lemma2_moments(self, mixed_cluster):
+        centroid = MixtureModelCentroid(mixed_cluster)
+        n = len(mixed_cluster)
+        assert np.allclose(
+            centroid.mu, sum(o.mu for o in mixed_cluster) / n
+        )
+        assert np.allclose(
+            centroid.mu2, sum(o.mu2 for o in mixed_cluster) / n
+        )
+
+    def test_moments_match_materialized_mixture(self, mixed_cluster):
+        centroid = MixtureModelCentroid(mixed_cluster)
+        mixture = centroid.as_distribution()
+        assert np.allclose(centroid.mu, mixture.mean_vector)
+        assert np.allclose(centroid.mu2, mixture.second_moment_vector)
+
+    def test_variance_nonnegative(self, rng):
+        for _ in range(5):
+            cluster = random_uncertain_objects(rng, 6, 2)
+            assert MixtureModelCentroid(cluster).total_variance >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyClusterError):
+            MixtureModelCentroid([])
+
+    def test_as_uncertain_object(self, mixed_cluster):
+        obj = MixtureModelCentroid(mixed_cluster).as_uncertain_object()
+        assert isinstance(obj, UncertainObject)
+        assert obj.dim == 2
+
+
+class TestUCentroid:
+    def test_theorem1_region(self, mixed_cluster):
+        """Centroid region bounds = averages of member region bounds."""
+        centroid = UCentroid(mixed_cluster)
+        lowers = np.mean([o.region.lower for o in mixed_cluster], axis=0)
+        uppers = np.mean([o.region.upper for o in mixed_cluster], axis=0)
+        assert np.allclose(centroid.region.lower, lowers)
+        assert np.allclose(centroid.region.upper, uppers)
+
+    def test_lemma5_mean_equals_ukmeans_centroid(self, mixed_cluster):
+        centroid = UCentroid(mixed_cluster)
+        assert np.allclose(centroid.mu, ukmeans_centroid(mixed_cluster))
+
+    def test_lemma5_second_moment(self, mixed_cluster):
+        """mu2(C̄) per Lemma 5's explicit double-sum formula."""
+        centroid = UCentroid(mixed_cluster)
+        n = len(mixed_cluster)
+        mu2_sum = sum(o.mu2 for o in mixed_cluster)
+        cross = np.zeros(2)
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                cross += 2.0 * mixed_cluster[i].mu * mixed_cluster[j].mu
+        assert np.allclose(centroid.mu2, (mu2_sum + cross) / n**2)
+
+    def test_theorem2_variance(self, mixed_cluster):
+        """sigma^2(C̄) = |C|^-2 sum_i sigma^2(o_i) (Theorem 2)."""
+        centroid = UCentroid(mixed_cluster)
+        n = len(mixed_cluster)
+        total = sum(o.total_variance for o in mixed_cluster)
+        assert centroid.total_variance == pytest.approx(total / n**2)
+
+    def test_sampling_matches_analytic_moments(self, mixed_cluster):
+        centroid = UCentroid(mixed_cluster)
+        samples = centroid.sample(60000, seed=0)
+        assert np.allclose(samples.mean(axis=0), centroid.mu, atol=0.02)
+        sample_mu2 = (samples**2).mean(axis=0)
+        assert np.allclose(sample_mu2, centroid.mu2, atol=0.05)
+
+    def test_samples_inside_region(self, mixed_cluster):
+        centroid = UCentroid(mixed_cluster)
+        for row in centroid.sample(500, seed=1):
+            assert centroid.region.contains(row, atol=1e-9)
+
+    def test_pdf_estimate_positive_at_mean(self, mixed_cluster):
+        centroid = UCentroid(mixed_cluster)
+        density = centroid.pdf_estimate(centroid.mu, n_samples=4000, seed=0)
+        assert density[0] > 0.0
+
+    def test_pdf_estimate_dim_check(self, mixed_cluster):
+        centroid = UCentroid(mixed_cluster)
+        with pytest.raises(InvalidParameterError):
+            centroid.pdf_estimate(np.zeros(3))
+
+    def test_singleton_cluster_is_the_object(self):
+        obj = UncertainObject.uniform_box([1.0, 2.0], [0.5, 0.5])
+        centroid = UCentroid([obj])
+        assert np.allclose(centroid.mu, obj.mu)
+        assert np.allclose(centroid.mu2, obj.mu2)
+        assert centroid.region == obj.region
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyClusterError):
+            UCentroid([])
+
+    def test_invalid_sample_size(self, mixed_cluster):
+        with pytest.raises(InvalidParameterError):
+            UCentroid(mixed_cluster).sample(0)
+
+    def test_as_uncertain_object(self, mixed_cluster):
+        centroid = UCentroid(mixed_cluster)
+        obj = centroid.as_uncertain_object(n_samples=4000, seed=0)
+        assert np.allclose(obj.mu, centroid.mu, atol=0.05)
+
+    def test_variance_shrinks_with_cluster_size(self, rng):
+        """Adding objects shrinks centroid variance ~ 1/n^2 per Theorem 2."""
+        objects = random_uncertain_objects(rng, 16, 2)
+        small = UCentroid(objects[:4])
+        large = UCentroid(objects)
+        sum_small = sum(o.total_variance for o in objects[:4])
+        sum_large = sum(o.total_variance for o in objects)
+        assert small.total_variance == pytest.approx(sum_small / 16)
+        assert large.total_variance == pytest.approx(sum_large / 256)

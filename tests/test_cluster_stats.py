@@ -1,0 +1,221 @@
+"""Tests for the Psi/Phi/Upsilon incremental statistics (Theorem 3, Corollary 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import random_uncertain_objects
+
+from repro.clustering import ClusterStats, ClusterStatsMatrix, j_ucpc
+from repro.exceptions import EmptyClusterError, InvalidParameterError
+from repro.objects import UncertainDataset, UncertainObject
+
+
+class TestClusterStats:
+    def test_objective_matches_reference(self, mixed_cluster):
+        stats = ClusterStats.from_objects(mixed_cluster)
+        assert stats.objective() == pytest.approx(j_ucpc(mixed_cluster))
+
+    def test_add_remove_roundtrip(self, mixed_cluster):
+        stats = ClusterStats.from_objects(mixed_cluster)
+        before = stats.objective()
+        extra = UncertainObject.uniform_box([5.0, 5.0], [1.0, 1.0])
+        stats.add(extra)
+        stats.remove(extra)
+        assert stats.objective() == pytest.approx(before)
+        assert stats.count == len(mixed_cluster)
+
+    def test_corollary1_objective_with(self, mixed_cluster):
+        """O(m) hypothetical insertion equals from-scratch recomputation."""
+        stats = ClusterStats.from_objects(mixed_cluster)
+        extra = UncertainObject.gaussian([3.0, -2.0], [0.4, 0.6])
+        hypothetical = stats.objective_with(extra)
+        reference = j_ucpc(list(mixed_cluster) + [extra])
+        assert hypothetical == pytest.approx(reference)
+        # The query must not mutate the stats.
+        assert stats.count == len(mixed_cluster)
+        assert stats.objective() == pytest.approx(j_ucpc(mixed_cluster))
+
+    def test_corollary1_objective_without(self, mixed_cluster):
+        stats = ClusterStats.from_objects(mixed_cluster)
+        removed = mixed_cluster[2]
+        hypothetical = stats.objective_without(removed)
+        reference = j_ucpc([o for o in mixed_cluster if o is not removed])
+        assert hypothetical == pytest.approx(reference)
+
+    def test_negative_means_handled(self):
+        """The signed-sum fix: the paper's sqrt(Upsilon) form breaks when
+        sum(mu) < 0; our stats must not."""
+        cluster = [
+            UncertainObject.uniform_box([-5.0], [0.5]),
+            UncertainObject.uniform_box([-3.0], [0.2]),
+        ]
+        stats = ClusterStats.from_objects(cluster)
+        assert stats.objective() == pytest.approx(j_ucpc(cluster))
+        extra = UncertainObject.uniform_box([-4.0], [0.1])
+        assert stats.objective_with(extra) == pytest.approx(
+            j_ucpc(cluster + [extra])
+        )
+
+    def test_upsilon_is_squared_signed_sum(self):
+        cluster = [
+            UncertainObject.from_point([-2.0]),
+            UncertainObject.from_point([1.0]),
+        ]
+        stats = ClusterStats.from_objects(cluster)
+        assert stats.mu_sum[0] == pytest.approx(-1.0)
+        assert stats.upsilon[0] == pytest.approx(1.0)
+
+    def test_relocation_delta(self, mixed_cluster):
+        source = ClusterStats.from_objects(mixed_cluster[:3])
+        target = ClusterStats.from_objects(mixed_cluster[3:])
+        moved = mixed_cluster[0]
+        delta = source.relocation_delta(target, moved)
+        before = j_ucpc(mixed_cluster[:3]) + j_ucpc(mixed_cluster[3:])
+        after = j_ucpc(mixed_cluster[1:3]) + j_ucpc(
+            list(mixed_cluster[3:]) + [moved]
+        )
+        assert delta == pytest.approx(after - before)
+
+    def test_empty_cluster_objective_zero(self):
+        stats = ClusterStats(dim=2)
+        assert stats.objective() == 0.0
+        assert stats.count == 0
+
+    def test_remove_from_empty_raises(self):
+        stats = ClusterStats(dim=1)
+        with pytest.raises(EmptyClusterError):
+            stats.remove(UncertainObject.from_point([0.0]))
+        with pytest.raises(EmptyClusterError):
+            stats.objective_without(UncertainObject.from_point([0.0]))
+
+    def test_remove_to_empty_snaps_to_zero(self):
+        obj = UncertainObject.uniform_box([1.0], [0.5])
+        stats = ClusterStats.from_objects([obj])
+        stats.remove(obj)
+        assert stats.objective() == 0.0
+        assert np.all(stats.psi == 0.0)
+        assert np.all(stats.mu_sum == 0.0)
+
+    def test_dim_mismatch(self):
+        stats = ClusterStats(dim=2)
+        with pytest.raises(InvalidParameterError):
+            stats.add(UncertainObject.from_point([0.0]))
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterStats(dim=0)
+
+    def test_copy_is_independent(self, mixed_cluster):
+        stats = ClusterStats.from_objects(mixed_cluster)
+        clone = stats.copy()
+        clone.add(UncertainObject.from_point([0.0, 0.0]))
+        assert clone.count == stats.count + 1
+        assert stats.objective() == pytest.approx(j_ucpc(mixed_cluster))
+
+    def test_from_dataset_indices(self, blob_dataset):
+        indices = [0, 3, 7, 11]
+        stats = ClusterStats.from_dataset_indices(blob_dataset, indices)
+        reference = ClusterStats.from_objects([blob_dataset[i] for i in indices])
+        assert stats.objective() == pytest.approx(reference.objective())
+
+    def test_centroid_mean(self, mixed_cluster):
+        stats = ClusterStats.from_objects(mixed_cluster)
+        expected = np.mean([o.mu for o in mixed_cluster], axis=0)
+        assert np.allclose(stats.centroid_mean, expected)
+        empty = ClusterStats(dim=2)
+        with pytest.raises(EmptyClusterError):
+            _ = empty.centroid_mean
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-30, max_value=30),
+                st.floats(min_value=0.01, max_value=4),
+            ),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_batch_property(self, params):
+        """Build stats incrementally, compare against the reference J."""
+        cluster = [
+            UncertainObject.uniform_box([mean], [half]) for mean, half in params
+        ]
+        stats = ClusterStats(dim=1)
+        for obj in cluster:
+            stats.add(obj)
+        assert stats.objective() == pytest.approx(
+            j_ucpc(cluster), rel=1e-7, abs=1e-8
+        )
+        # Remove half the objects and compare again.
+        keep = cluster[: len(cluster) // 2 + 1]
+        for obj in cluster[len(cluster) // 2 + 1 :]:
+            stats.remove(obj)
+        assert stats.objective() == pytest.approx(
+            j_ucpc(keep), rel=1e-6, abs=1e-6
+        )
+
+
+class TestClusterStatsMatrix:
+    def _setup(self, blob_dataset):
+        labels = np.array(blob_dataset.labels)
+        return ClusterStatsMatrix.from_assignment(blob_dataset, labels, 3), labels
+
+    def test_total_objective_matches_per_cluster(self, blob_dataset):
+        matrix, labels = self._setup(blob_dataset)
+        total = 0.0
+        for c in range(3):
+            members = [o for o, lab in zip(blob_dataset, labels) if lab == c]
+            total += j_ucpc(members)
+        assert matrix.total_objective() == pytest.approx(total)
+
+    def test_objectives_with_matches_scalar(self, blob_dataset):
+        matrix, labels = self._setup(blob_dataset)
+        obj = blob_dataset[0]
+        vector = matrix.objectives_with(obj.sigma2, obj.mu2, obj.mu)
+        for c in range(3):
+            members = [o for o, lab in zip(blob_dataset, labels) if lab == c]
+            assert vector[c] == pytest.approx(j_ucpc(members + [obj]))
+
+    def test_objective_without_matches_scalar(self, blob_dataset):
+        matrix, labels = self._setup(blob_dataset)
+        idx = 5
+        own = int(labels[idx])
+        obj = blob_dataset[idx]
+        value = matrix.objective_without(own, obj.sigma2, obj.mu2, obj.mu)
+        members = [
+            o
+            for i, (o, lab) in enumerate(zip(blob_dataset, labels))
+            if lab == own and i != idx
+        ]
+        assert value == pytest.approx(j_ucpc(members))
+
+    def test_move_consistency(self, blob_dataset):
+        matrix, labels = self._setup(blob_dataset)
+        idx = 2
+        own = int(labels[idx])
+        target = (own + 1) % 3
+        obj = blob_dataset[idx]
+        matrix.move(own, target, obj.sigma2, obj.mu2, obj.mu)
+        labels[idx] = target
+        rebuilt = ClusterStatsMatrix.from_assignment(blob_dataset, labels, 3)
+        assert matrix.total_objective() == pytest.approx(
+            rebuilt.total_objective()
+        )
+        assert np.array_equal(matrix.counts, rebuilt.counts)
+
+    def test_empty_cluster_objective_zero(self, blob_dataset):
+        labels = np.zeros(len(blob_dataset), dtype=np.int64)
+        matrix = ClusterStatsMatrix.from_assignment(blob_dataset, labels, 2)
+        objectives = matrix.objectives()
+        assert objectives[1] == 0.0
+        assert matrix.counts[1] == 0
+
+    def test_invalid_n_clusters(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterStatsMatrix(0, 2)

@@ -1,0 +1,187 @@
+"""Tests for the dataset synthesizers (benchmarks, microarray) — S20-S21."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    BENCHMARK_SPECS,
+    MICROARRAY_SPECS,
+    list_benchmarks,
+    list_microarrays,
+    make_benchmark,
+    make_blobs_uncertain,
+    make_classification_like,
+    make_microarray,
+    make_probe_level_dataset,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestBenchmarkRegistry:
+    def test_table1a_shapes_registered(self):
+        """The registry mirrors Table 1-(a) of the paper."""
+        expected = {
+            "iris": (150, 4, 3),
+            "wine": (178, 13, 3),
+            "glass": (214, 10, 6),
+            "ecoli": (327, 7, 5),
+            "yeast": (1484, 8, 10),
+            "image": (2310, 19, 7),
+            "abalone": (4124, 7, 17),
+            "letter": (7648, 16, 10),
+            "kddcup99": (4_000_000, 42, 23),
+        }
+        assert set(list_benchmarks()) == set(expected)
+        for name, (n, m, k) in expected.items():
+            spec = BENCHMARK_SPECS[name]
+            assert (spec.n_objects, spec.n_attributes, spec.n_classes) == (n, m, k)
+
+    def test_full_scale_shapes(self):
+        points, labels = make_benchmark("iris", scale=1.0, seed=0)
+        assert points.shape == (150, 4)
+        assert labels.shape == (150,)
+        assert np.unique(labels).size == 3
+
+    def test_scaled_generation(self):
+        points, labels = make_benchmark("letter", scale=0.05, seed=0)
+        assert points.shape[0] == pytest.approx(0.05 * 7648, abs=2)
+        assert points.shape[1] == 16
+        assert np.unique(labels).size == 10  # every class survives scaling
+
+    def test_deterministic_given_seed(self):
+        a, la = make_benchmark("wine", scale=0.5, seed=3)
+        b, lb = make_benchmark("wine", scale=0.5, seed=3)
+        assert np.array_equal(a, b)
+        assert np.array_equal(la, lb)
+
+    def test_different_seeds_differ(self):
+        a, _ = make_benchmark("wine", scale=0.5, seed=3)
+        b, _ = make_benchmark("wine", scale=0.5, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_benchmark("mnist")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_benchmark("iris", scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            make_benchmark("iris", scale=2.0)
+
+    def test_difficulty_ordering(self):
+        """Separation calibration: iris must be easier to cluster than
+        abalone (matching the paper's relative accuracy levels)."""
+        from repro.clustering import UKMeans
+        from repro.evaluation import f_measure
+        from repro.objects import UncertainDataset
+
+        scores = {}
+        for name in ("iris", "abalone"):
+            pts, labels = make_benchmark(name, scale=0.3, seed=0)
+            data = UncertainDataset.from_points(pts, labels)
+            k = int(np.unique(labels).size)
+            result = UKMeans(n_clusters=k, init="kmeans++").fit(data, seed=0)
+            scores[name] = f_measure(result.labels, data.labels)
+        assert scores["iris"] > scores["abalone"]
+
+
+class TestClassificationLike:
+    def test_shapes_and_class_floor(self):
+        points, labels = make_classification_like(50, 3, 7, seed=0)
+        assert points.shape == (50, 3)
+        counts = np.bincount(labels, minlength=7)
+        assert np.all(counts >= 2)
+
+    def test_separation_controls_overlap(self):
+        # Higher separation => larger between-class center spread.
+        def center_spread(sep):
+            pts, labels = make_classification_like(
+                300, 2, 3, separation=sep, seed=1
+            )
+            centers = np.array(
+                [pts[labels == c].mean(axis=0) for c in range(3)]
+            )
+            return np.linalg.norm(centers - centers.mean(axis=0), axis=1).mean()
+
+        assert center_spread(8.0) > center_spread(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            make_classification_like(3, 2, 2)  # n < 2k
+        with pytest.raises(InvalidParameterError):
+            make_classification_like(10, 0, 2)
+        with pytest.raises(InvalidParameterError):
+            make_classification_like(10, 2, 0)
+        with pytest.raises(InvalidParameterError):
+            make_classification_like(10, 2, 2, separation=0.0)
+
+
+class TestBlobs:
+    def test_labels_and_uncertainty(self):
+        data = make_blobs_uncertain(n_objects=40, n_clusters=4, seed=0)
+        assert len(data) == 40
+        assert data.n_classes == 4
+        assert np.all(data.total_variances > 0)
+
+    def test_mass_controls_region(self):
+        tight = make_blobs_uncertain(n_objects=10, mass=0.5, seed=0)
+        wide = make_blobs_uncertain(n_objects=10, mass=0.999, seed=0)
+        assert np.mean(
+            [o.region.widths.mean() for o in tight]
+        ) < np.mean([o.region.widths.mean() for o in wide])
+
+
+class TestMicroarray:
+    def test_table1b_shapes_registered(self):
+        assert set(list_microarrays()) == {"neuroblastoma", "leukaemia"}
+        assert MICROARRAY_SPECS["neuroblastoma"].n_genes == 22282
+        assert MICROARRAY_SPECS["neuroblastoma"].n_tissues == 14
+        assert MICROARRAY_SPECS["leukaemia"].n_genes == 22690
+        assert MICROARRAY_SPECS["leukaemia"].n_tissues == 21
+
+    def test_scaled_generation(self):
+        data = make_microarray("neuroblastoma", scale=0.01, seed=0)
+        assert data.dim == 14
+        assert len(data) == pytest.approx(223, abs=2)
+        assert np.all(data.total_variances > 0)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_microarray("lymphoma")
+
+    def test_probe_noise_decreases_with_expression(self):
+        """multi-mgMOS signature: lower expression => higher probe std."""
+        data = make_probe_level_dataset(
+            n_genes=300, n_tissues=5, n_modules=3, seed=0
+        )
+        mu = data.mu_matrix.ravel()
+        std = np.sqrt(data.sigma2_matrix.ravel())
+        low = std[mu < np.quantile(mu, 0.2)].mean()
+        high = std[mu > np.quantile(mu, 0.8)].mean()
+        assert low > high
+
+    def test_module_structure_is_discoverable(self):
+        from repro.clustering import UKMeans
+        from repro.evaluation import f_measure
+
+        data = make_probe_level_dataset(
+            n_genes=200, n_tissues=8, n_modules=4, module_spread=3.0, seed=1
+        )
+        result = UKMeans(n_clusters=4, init="kmeans++").fit(data, seed=1)
+        assert f_measure(result.labels, data.labels) > 0.7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            make_probe_level_dataset(n_genes=2, n_tissues=3, n_modules=5)
+        with pytest.raises(InvalidParameterError):
+            make_probe_level_dataset(n_genes=10, n_tissues=0, n_modules=2)
+        with pytest.raises(InvalidParameterError):
+            make_microarray("neuroblastoma", scale=0.0)
+
+    def test_deterministic(self):
+        a = make_microarray("leukaemia", scale=0.005, seed=5)
+        b = make_microarray("leukaemia", scale=0.005, seed=5)
+        assert np.allclose(a.mu_matrix, b.mu_matrix)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples are part of the public deliverable; running them in-process
+(with a stubbed ``__name__``) catches API drift the moment it happens.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "sensor_network.py",
+    "microarray_clustering.py",
+    "paper_figures.py",
+    "moving_objects_fleet.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_reproduce_paper_help():
+    """The reproduction driver must at least parse its CLI."""
+    path = EXAMPLES_DIR / "reproduce_paper.py"
+    old_argv = sys.argv
+    sys.argv = ["reproduce_paper.py", "--help"]
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_path(str(path), run_name="__main__")
+        assert excinfo.value.code == 0
+    finally:
+        sys.argv = old_argv

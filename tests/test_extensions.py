@@ -1,0 +1,217 @@
+"""Tests for the library extensions: triangular pdf, standardizer,
+stability metric, moving-objects workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import UAHC, UCPC, UKMeans
+from repro.datagen import make_blobs_uncertain, make_moving_objects
+from repro.evaluation import clustering_stability, f_measure
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.objects import UncertainDataset, UncertainObject, UncertainStandardizer
+from repro.uncertainty import (
+    IndependentProduct,
+    TriangularDistribution,
+    quadrature_mass,
+    quadrature_moments,
+)
+
+
+class TestTriangular:
+    def test_moments_closed_form(self):
+        dist = TriangularDistribution(0.0, 1.0, 4.0)
+        assert dist.mean == pytest.approx(5.0 / 3.0)
+        var = (0 + 1 + 16 - 0 - 0 - 4) / 18.0
+        assert dist.variance == pytest.approx(var)
+
+    def test_moments_match_quadrature(self):
+        dist = TriangularDistribution(-2.0, 0.5, 3.0)
+        mean, second = quadrature_moments(dist)
+        assert dist.mean == pytest.approx(mean, abs=1e-8)
+        assert dist.second_moment == pytest.approx(second, abs=1e-7)
+
+    def test_pdf_integrates_to_one(self):
+        dist = TriangularDistribution(1.0, 2.0, 5.0)
+        assert quadrature_mass(dist) == pytest.approx(1.0, abs=1e-8)
+
+    def test_degenerate_sides_allowed(self):
+        left = TriangularDistribution(0.0, 0.0, 2.0)  # mode at lower
+        right = TriangularDistribution(0.0, 2.0, 2.0)  # mode at upper
+        assert quadrature_mass(left) == pytest.approx(1.0, abs=1e-8)
+        assert quadrature_mass(right) == pytest.approx(1.0, abs=1e-8)
+
+    def test_ppf_inverts_cdf(self):
+        dist = TriangularDistribution(0.0, 3.0, 4.0)
+        qs = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(dist.cdf(dist.ppf(qs)), qs, atol=1e-9)
+
+    def test_sampling_statistics(self):
+        dist = TriangularDistribution.symmetric(2.0, 1.5)
+        samples = dist.sample(40000, seed=0)
+        assert samples.mean() == pytest.approx(2.0, abs=0.02)
+        assert np.all((samples >= 0.5) & (samples <= 3.5))
+
+    def test_symmetric_mean_is_center(self):
+        dist = TriangularDistribution.symmetric(-1.0, 2.0)
+        assert dist.mean == pytest.approx(-1.0)
+        assert dist.mode == pytest.approx(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            TriangularDistribution(2.0, 1.0, 3.0)
+        with pytest.raises(InvalidParameterError):
+            TriangularDistribution(1.0, 1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            TriangularDistribution.symmetric(0.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            TriangularDistribution(np.inf, 1.0, 2.0)
+
+    @given(
+        lower=st.floats(min_value=-20, max_value=20),
+        mode_frac=st.floats(min_value=0.0, max_value=1.0),
+        width=st.floats(min_value=0.01, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mean_between_bounds_property(self, lower, mode_frac, width):
+        upper = lower + width
+        mode = lower + mode_frac * width
+        dist = TriangularDistribution(lower, mode, upper)
+        assert lower - 1e-9 <= dist.mean <= upper + 1e-9
+        assert dist.variance >= 0.0
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_scale(self, blob_dataset):
+        z = UncertainStandardizer().fit_transform(blob_dataset)
+        assert np.allclose(z.mu_matrix.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.mu_matrix.std(axis=0), 1.0, atol=1e-9)
+
+    def test_variance_scaling_exact(self, blob_dataset):
+        std = UncertainStandardizer().fit(blob_dataset)
+        z = std.transform(blob_dataset)
+        scale_sq = std.plan.scale**2
+        assert np.allclose(
+            z.sigma2_matrix, blob_dataset.sigma2_matrix / scale_sq, atol=1e-9
+        )
+
+    def test_labels_preserved(self, blob_dataset):
+        z = UncertainStandardizer().fit_transform(blob_dataset)
+        assert np.array_equal(z.labels, blob_dataset.labels)
+
+    def test_distributions_still_valid(self, blob_dataset):
+        z = UncertainStandardizer().fit_transform(blob_dataset)
+        obj = z[0]
+        samples = obj.sample(500, seed=0)
+        for row in samples:
+            assert obj.region.contains(row, atol=1e-9)
+
+    def test_center_only(self, blob_dataset):
+        z = UncertainStandardizer(with_scale=False).fit_transform(blob_dataset)
+        assert np.allclose(z.mu_matrix.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.sigma2_matrix, blob_dataset.sigma2_matrix)
+
+    def test_inverse_point(self, blob_dataset):
+        std = UncertainStandardizer().fit(blob_dataset)
+        z = std.transform(blob_dataset)
+        back = std.inverse_point(z.mu_matrix[0])
+        assert np.allclose(back, blob_dataset.mu_matrix[0], atol=1e-9)
+
+    def test_mixed_families(self, mixed_dataset):
+        z = UncertainStandardizer().fit_transform(mixed_dataset)
+        # Means transform exactly for every family.
+        plan = UncertainStandardizer().fit(mixed_dataset).plan
+        expected = (mixed_dataset.mu_matrix - plan.shift) / plan.scale
+        assert np.allclose(z.mu_matrix, expected, atol=1e-9)
+
+    def test_not_fitted_error(self, blob_dataset):
+        with pytest.raises(NotFittedError):
+            UncertainStandardizer().transform(blob_dataset)
+
+    def test_constant_dimension_scale_one(self):
+        objs = [UncertainObject.from_point([1.0, float(i)]) for i in range(4)]
+        data = UncertainDataset(objs)
+        std = UncertainStandardizer().fit(data)
+        assert std.plan.scale[0] == 1.0  # zero-std column guarded
+
+    def test_clustering_invariance_under_isotropic_scaling(self):
+        """K-means-family assignments are invariant to a shared affine
+        map; the standardizer must not change blob recovery."""
+        data = make_blobs_uncertain(n_objects=60, n_clusters=3, separation=8.0, seed=2)
+        z = UncertainStandardizer().fit_transform(data)
+        raw = UKMeans(3, init="kmeans++").fit(data, seed=0)
+        scaled = UKMeans(3, init="kmeans++").fit(z, seed=0)
+        assert f_measure(scaled.labels, raw.labels) > 0.95
+
+
+class TestStability:
+    def test_deterministic_algorithm_fully_stable(self, blob_dataset):
+        result = clustering_stability(
+            UAHC(n_clusters=3, linkage="ed"), blob_dataset, n_runs=3, seed=0
+        )
+        assert result.mean_agreement == pytest.approx(1.0)
+        assert result.is_stable
+
+    def test_randomized_algorithm_in_range(self, blob_dataset):
+        result = clustering_stability(
+            UCPC(n_clusters=3), blob_dataset, n_runs=4, seed=0
+        )
+        assert -1.0 <= result.min_agreement <= result.mean_agreement
+        assert result.mean_agreement <= result.max_agreement <= 1.0
+
+    def test_invalid_runs(self, blob_dataset):
+        with pytest.raises(InvalidParameterError):
+            clustering_stability(UCPC(3), blob_dataset, n_runs=1)
+
+    def test_custom_agreement(self, blob_dataset):
+        result = clustering_stability(
+            UKMeans(3),
+            blob_dataset,
+            n_runs=3,
+            seed=1,
+            agreement=f_measure,
+        )
+        assert 0.0 <= result.mean_agreement <= 1.0
+
+
+class TestMovingObjects:
+    def test_shapes_and_labels(self):
+        fleet = make_moving_objects(n_objects=80, n_hubs=4, seed=0)
+        assert len(fleet) == 80
+        assert fleet.dim == 2
+        assert fleet.n_classes == 4
+
+    def test_heterogeneous_variances(self):
+        fleet = make_moving_objects(n_objects=100, seed=1)
+        variances = fleet.total_variances
+        assert variances.max() > 3.0 * variances.min()
+
+    def test_gaussian_variant(self):
+        fleet = make_moving_objects(n_objects=50, pdf="normal", seed=2)
+        assert np.all(fleet.total_variances > 0)
+
+    def test_hubs_recoverable(self):
+        fleet = make_moving_objects(
+            n_objects=200, n_hubs=3, hub_radius=5.0, max_speed=2.0, seed=3
+        )
+        best = max(
+            f_measure(UCPC(3).fit(fleet, seed=s).labels, fleet.labels)
+            for s in range(3)
+        )
+        assert best > 0.8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            make_moving_objects(n_objects=4, n_hubs=4)
+        with pytest.raises(InvalidParameterError):
+            make_moving_objects(pdf="cauchy")
+        with pytest.raises(InvalidParameterError):
+            make_moving_objects(max_speed=0.0)
+
+    def test_deterministic(self):
+        a = make_moving_objects(n_objects=40, seed=9)
+        b = make_moving_objects(n_objects=40, seed=9)
+        assert np.allclose(a.mu_matrix, b.mu_matrix)

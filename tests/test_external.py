@@ -1,0 +1,151 @@
+"""Tests for the external validity criteria (paper F-measure + extras)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    contingency_matrix,
+    f_measure,
+    normalized_mutual_information,
+    purity,
+)
+from repro.exceptions import InvalidParameterError
+
+PERFECT = (np.array([0, 0, 1, 1, 2, 2]), np.array([0, 0, 1, 1, 2, 2]))
+PERMUTED = (np.array([2, 2, 0, 0, 1, 1]), np.array([0, 0, 1, 1, 2, 2]))
+
+
+class TestContingency:
+    def test_counts(self):
+        pred = np.array([0, 0, 1, 1])
+        ref = np.array([0, 1, 1, 1])
+        table = contingency_matrix(pred, ref)
+        # rows = classes {0, 1}, cols = clusters {0, 1}
+        assert table.tolist() == [[1, 0], [1, 2]]
+
+    def test_noise_gets_own_column(self):
+        pred = np.array([0, -1, -1])
+        ref = np.array([0, 0, 1])
+        table = contingency_matrix(pred, ref)
+        assert table.sum() == 3
+        assert table.shape == (2, 2)  # cluster {-1} and cluster {0}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            contingency_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            contingency_matrix(np.array([]), np.array([]))
+
+    def test_negative_reference_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            contingency_matrix(np.array([0]), np.array([-1]))
+
+
+class TestFMeasure:
+    def test_perfect_clustering(self):
+        assert f_measure(*PERFECT) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        assert f_measure(*PERMUTED) == pytest.approx(1.0)
+
+    def test_single_cluster_of_two_classes(self):
+        pred = np.zeros(4, dtype=int)
+        ref = np.array([0, 0, 1, 1])
+        # Each class: precision 0.5, recall 1.0 => F_uv = 2/3.
+        assert f_measure(pred, ref) == pytest.approx(2.0 / 3.0)
+
+    def test_worst_case_positive(self):
+        # F-measure is bounded away from 0 for non-degenerate tables.
+        pred = np.array([0, 1, 0, 1])
+        ref = np.array([0, 0, 1, 1])
+        value = f_measure(pred, ref)
+        assert 0.0 < value < 1.0
+
+    def test_all_noise_prediction(self):
+        pred = np.full(4, -1)
+        ref = np.array([0, 0, 1, 1])
+        # Noise bucket acts as a single cluster: same as one-cluster case.
+        assert f_measure(pred, ref) == pytest.approx(2.0 / 3.0)
+
+    def test_weighted_by_class_size(self):
+        # A large class clustered perfectly dominates a small one split up.
+        pred = np.array([0] * 8 + [1, 2])
+        ref = np.array([0] * 8 + [1, 1])
+        value = f_measure(pred, ref)
+        assert value > 0.8
+
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_self_comparison_is_one(self, labels):
+        arr = np.array(labels)
+        assert f_measure(arr, arr) == pytest.approx(1.0)
+
+    @given(
+        pred=st.lists(st.integers(min_value=0, max_value=3), min_size=5, max_size=30),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_in_unit_interval(self, pred, seed):
+        rng = np.random.default_rng(seed)
+        pred_arr = np.array(pred)
+        ref = rng.integers(0, 3, size=pred_arr.size)
+        value = f_measure(pred_arr, ref)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity(*PERFECT) == 1.0
+
+    def test_mixed(self):
+        pred = np.array([0, 0, 0, 1])
+        ref = np.array([0, 0, 1, 1])
+        assert purity(pred, ref) == pytest.approx(0.75)
+
+
+class TestNMI:
+    def test_perfect(self):
+        assert normalized_mutual_information(*PERFECT) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        assert normalized_mutual_information(*PERMUTED) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 4, size=2000)
+        ref = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_information(pred, ref) < 0.02
+
+    def test_single_cluster_zero_entropy(self):
+        pred = np.zeros(4, dtype=int)
+        ref = np.array([0, 0, 1, 1])
+        value = normalized_mutual_information(pred, ref)
+        assert 0.0 <= value <= 1.0
+
+
+class TestARI:
+    def test_perfect(self):
+        assert adjusted_rand_index(*PERFECT) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        assert adjusted_rand_index(*PERMUTED) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(1)
+        pred = rng.integers(0, 4, size=2000)
+        ref = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(pred, ref)) < 0.02
+
+    def test_degenerate_single_cluster_both(self):
+        pred = np.zeros(5, dtype=int)
+        ref = np.zeros(5, dtype=int)
+        assert adjusted_rand_index(pred, ref) == 1.0

@@ -1,0 +1,145 @@
+"""End-to-end integration tests across the full library stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    UCPC,
+    UCentroid,
+    UKMeans,
+    UncertaintyGenerator,
+    evaluate_theta,
+    f_measure,
+    internal_scores,
+    make_benchmark,
+    make_microarray,
+)
+from repro.clustering import ClusterStatsMatrix, j_ucpc
+from repro.experiments.reporting import (
+    PaperArtifacts,
+    render_markdown,
+    write_experiments_report,
+)
+
+
+class TestFullPipeline:
+    """The paper's whole evaluation loop on one small dataset."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        points, labels = make_benchmark("iris", seed=3)
+        generator = UncertaintyGenerator(family="normal", spread=1.0)
+        pair = generator.generate(points, labels, seed=3)
+        return points, labels, pair
+
+    def test_benchmark_shapes(self, pipeline):
+        points, labels, pair = pipeline
+        assert points.shape == (150, 4)
+        assert len(pair.uncertain) == 150
+
+    def test_theta_protocol_runs(self, pipeline):
+        _, _, pair = pipeline
+        outcome = evaluate_theta(UCPC(n_clusters=3), pair, seed=0)
+        assert -1.0 <= outcome.theta <= 1.0
+        assert -1.0 <= outcome.quality <= 1.0
+
+    def test_ucpc_objective_decomposition_holds_at_scale(self, pipeline):
+        """Theorem 3 checked on a real clustering outcome: the reported
+        objective equals the sum of the definitional J over the clusters."""
+        _, _, pair = pipeline
+        result = UCPC(n_clusters=3).fit(pair.uncertain, seed=1)
+        total = sum(
+            j_ucpc([pair.uncertain[i] for i in members])
+            for members in result.clusters()
+        )
+        assert result.objective == pytest.approx(total, rel=1e-6)
+
+    def test_ucentroids_of_fitted_clusters(self, pipeline):
+        _, _, pair = pipeline
+        result = UCPC(n_clusters=3).fit(pair.uncertain, seed=2)
+        for members in result.clusters():
+            centroid = UCentroid([pair.uncertain[i] for i in members])
+            assert centroid.region.contains(centroid.mu, atol=1e-6)
+            samples = centroid.sample(50, seed=0)
+            assert samples.shape == (50, 4)
+
+    def test_internal_scores_stable_across_calls(self, pipeline):
+        _, _, pair = pipeline
+        result = UKMeans(n_clusters=3).fit(pair.uncertain, seed=4)
+        a = internal_scores(pair.uncertain, result.labels)
+        b = internal_scores(pair.uncertain, result.labels)
+        assert a.quality == pytest.approx(b.quality)
+
+
+class TestMicroarrayPipeline:
+    def test_cluster_and_score(self):
+        genes = make_microarray("leukaemia", scale=0.005, seed=9)
+        result = UCPC(n_clusters=5).fit(genes, seed=9)
+        scores = internal_scores(genes, result.labels)
+        assert -1.0 <= scores.quality <= 1.0
+        assert result.n_clusters == 5
+
+    def test_modules_recoverable_with_f_measure(self):
+        genes = make_microarray("neuroblastoma", scale=0.01, seed=10)
+        k = int(np.unique(genes.labels).size)
+        best = max(
+            f_measure(UCPC(k).fit(genes, seed=s).labels, genes.labels)
+            for s in range(3)
+        )
+        assert best > 0.5
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        from repro.experiments import (
+            ExperimentConfig,
+            run_figure4,
+            run_figure5,
+            run_table2,
+            run_table3,
+        )
+
+        tiny = ExperimentConfig(
+            scale=0.5, max_objects=60, n_runs=1, seed=1, n_samples=8
+        )
+        return PaperArtifacts(
+            table2=run_table2(
+                tiny, datasets=("iris",), families=("normal",),
+                algorithms=("UKM", "UCPC"),
+            ),
+            table3=run_table3(
+                ExperimentConfig(scale=0.003, n_runs=1, seed=1, n_samples=8),
+                datasets=("neuroblastoma",),
+                cluster_counts=(2,),
+                algorithms=("UKM", "UCPC"),
+            ),
+            figure4=run_figure4(
+                ExperimentConfig(
+                    scale=0.01, max_objects=60, n_runs=1, seed=1, n_samples=8
+                ),
+                datasets=("abalone",),
+                slow_group=("UKmed",),
+                fast_group=("UKM",),
+                n_clusters=3,
+            ),
+            figure5=run_figure5(
+                ExperimentConfig(n_runs=1, seed=1, n_samples=8),
+                fractions=(0.5, 1.0),
+                algorithms=("UKM", "UCPC"),
+                base_size=120,
+            ),
+        )
+
+    def test_render_markdown_contains_all_sections(self, artifacts):
+        text = render_markdown(artifacts, preamble="# Report")
+        for heading in ("Table 2", "Table 3", "Figure 4", "Figure 5"):
+            assert heading in text
+        assert text.startswith("# Report")
+
+    def test_write_report(self, artifacts, tmp_path):
+        out = write_experiments_report(tmp_path / "report.md", artifacts)
+        assert out.exists()
+        assert "Table 2" in out.read_text()

@@ -1,0 +1,114 @@
+"""Tests for MMVar and UK-medoids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import MMVar, UKMedoids, j_mm
+from repro.datagen import make_blobs_uncertain
+from repro.evaluation import f_measure
+from repro.exceptions import InvalidParameterError
+from repro.objects.distance import pairwise_squared_expected_distances
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_blobs_uncertain(
+        n_objects=120, n_clusters=3, separation=7.0, seed=23
+    )
+
+
+class TestMMVar:
+    def test_recovers_blobs(self, data):
+        """Best of a few random restarts (local search can stall)."""
+        best = max(
+            f_measure(MMVar(n_clusters=3).fit(data, seed=s).labels, data.labels)
+            for s in range(5)
+        )
+        assert best > 0.9
+
+    def test_objective_matches_jmm_sum(self, data):
+        result = MMVar(n_clusters=3).fit(data, seed=1)
+        total = 0.0
+        for c in range(3):
+            members = [o for o, lab in zip(data, result.labels) if lab == c]
+            total += j_mm(members)
+        assert result.objective == pytest.approx(total, rel=1e-6)
+
+    def test_objective_monotone(self, data):
+        result = MMVar(n_clusters=4).fit(data, seed=2)
+        history = result.objective_history
+        for prev, curr in zip(history, history[1:]):
+            assert curr <= prev + 1e-9 * max(1.0, abs(prev))
+
+    def test_all_clusters_nonempty(self, data):
+        result = MMVar(n_clusters=5).fit(data, seed=3)
+        assert np.all(np.bincount(result.labels, minlength=5) > 0)
+
+    def test_reproducible(self, data):
+        a = MMVar(n_clusters=3).fit(data, seed=9)
+        b = MMVar(n_clusters=3).fit(data, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            MMVar(n_clusters=2, max_iter=0)
+
+
+class TestUKMedoids:
+    def test_recovers_blobs(self, data):
+        best = max(
+            f_measure(
+                UKMedoids(n_clusters=3).fit(data, seed=s).labels, data.labels
+            )
+            for s in range(5)
+        )
+        assert best > 0.85
+
+    def test_medoids_are_cluster_members(self, data):
+        result = UKMedoids(n_clusters=3).fit(data, seed=1)
+        medoids = result.extras["medoids"]
+        assert len(medoids) == 3
+        for c, medoid in enumerate(medoids):
+            assert result.labels[medoid] == c
+
+    def test_objective_is_sum_of_medoid_distances(self, data):
+        result = UKMedoids(n_clusters=3).fit(data, seed=2)
+        distances = pairwise_squared_expected_distances(data)
+        medoids = np.array(result.extras["medoids"])
+        expected = float(
+            distances[np.arange(len(data)), medoids[result.labels]].sum()
+        )
+        assert result.objective == pytest.approx(expected)
+
+    def test_precomputed_matrix_reused(self, data):
+        distances = pairwise_squared_expected_distances(data)
+        result = UKMedoids(n_clusters=3, precomputed=distances).fit(data, seed=3)
+        reference = UKMedoids(n_clusters=3).fit(data, seed=3)
+        assert np.array_equal(result.labels, reference.labels)
+
+    def test_precomputed_shape_checked(self, data):
+        with pytest.raises(InvalidParameterError):
+            UKMedoids(n_clusters=3, precomputed=np.zeros((2, 2))).fit(data, seed=0)
+
+    def test_kmeanspp_init(self, data):
+        best = max(
+            f_measure(
+                UKMedoids(n_clusters=3, init="kmeans++").fit(data, seed=s).labels,
+                data.labels,
+            )
+            for s in range(5)
+        )
+        assert best > 0.85
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            UKMedoids(n_clusters=2, init="bogus")
+        with pytest.raises(InvalidParameterError):
+            UKMedoids(n_clusters=2, max_iter=0)
+
+    def test_reproducible(self, data):
+        a = UKMedoids(n_clusters=3).fit(data, seed=6)
+        b = UKMedoids(n_clusters=3).fit(data, seed=6)
+        assert np.array_equal(a.labels, b.labels)

@@ -1,0 +1,191 @@
+"""Tests for the multivariate distributions: products, mixtures, empirical,
+point masses, and the numerical moment cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.uncertainty import (
+    EmpiricalDistribution,
+    IndependentProduct,
+    MixtureDistribution,
+    MultivariatePointMass,
+    TruncatedExponentialDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    monte_carlo_moments,
+)
+
+
+def _product_2d():
+    return IndependentProduct(
+        [
+            UniformDistribution(0.0, 2.0),
+            TruncatedNormalDistribution(1.0, 0.5, -0.5, 2.5),
+        ]
+    )
+
+
+class TestIndependentProduct:
+    def test_moments_are_concatenated_marginals(self):
+        prod = _product_2d()
+        assert prod.mean_vector[0] == pytest.approx(1.0)
+        assert prod.mean_vector[1] == pytest.approx(1.0)
+        assert prod.variance_vector[0] == pytest.approx(4.0 / 12.0)
+
+    def test_region_is_support_box(self):
+        prod = _product_2d()
+        assert np.allclose(prod.region.lower, [0.0, -0.5])
+        assert np.allclose(prod.region.upper, [2.0, 2.5])
+
+    def test_pdf_is_product_of_marginals(self):
+        prod = _product_2d()
+        pt = np.array([[1.0, 1.0]])
+        expected = (
+            prod.marginal(0).pdf(np.array([1.0]))[0]
+            * prod.marginal(1).pdf(np.array([1.0]))[0]
+        )
+        assert prod.pdf(pt)[0] == pytest.approx(expected)
+
+    def test_pdf_zero_outside_region(self):
+        prod = _product_2d()
+        assert prod.pdf(np.array([[-1.0, 1.0]]))[0] == 0.0
+
+    def test_pdf_accepts_1d_point(self):
+        prod = _product_2d()
+        assert prod.pdf(np.array([1.0, 1.0])).shape == (1,)
+
+    def test_sampling_inside_region(self):
+        prod = _product_2d()
+        samples = prod.sample(500, seed=0)
+        assert samples.shape == (500, 2)
+        for row in samples:
+            assert prod.region.contains(row, atol=1e-9)
+
+    def test_monte_carlo_moments_agree(self):
+        prod = _product_2d()
+        estimate = monte_carlo_moments(prod, n_samples=60000, seed=3)
+        assert np.allclose(estimate.mean_vector, prod.mean_vector, atol=0.02)
+        assert np.allclose(
+            estimate.second_moment_vector, prod.second_moment_vector, atol=0.05
+        )
+
+    def test_total_variance_is_sum(self):
+        prod = _product_2d()
+        assert prod.total_variance == pytest.approx(prod.variance_vector.sum())
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IndependentProduct([])
+
+
+class TestMixtureDistribution:
+    def _components(self):
+        return [
+            IndependentProduct([UniformDistribution(0.0, 1.0)]),
+            IndependentProduct([UniformDistribution(2.0, 4.0)]),
+        ]
+
+    def test_lemma2_moments(self):
+        """Mixture moments are averages of component moments (Lemma 2)."""
+        mix = MixtureDistribution(self._components())
+        assert mix.mean_vector[0] == pytest.approx(0.5 * (0.5 + 3.0))
+        mu2 = 0.5 * (1.0 / 3.0 + (4 + 8 + 16) / 3.0)
+        assert mix.second_moment_vector[0] == pytest.approx(mu2)
+
+    def test_region_is_union_box(self):
+        mix = MixtureDistribution(self._components())
+        assert mix.region.lower[0] == 0.0
+        assert mix.region.upper[0] == 4.0
+
+    def test_weighted_mixture(self):
+        mix = MixtureDistribution(self._components(), weights=[0.25, 0.75])
+        assert mix.mean_vector[0] == pytest.approx(0.25 * 0.5 + 0.75 * 3.0)
+
+    def test_pdf_is_weighted_average(self):
+        mix = MixtureDistribution(self._components())
+        # x = 0.5 lies only in the first component (height 1.0).
+        assert mix.pdf(np.array([[0.5]]))[0] == pytest.approx(0.5)
+        # x = 3 lies only in the second (height 0.5).
+        assert mix.pdf(np.array([[3.0]]))[0] == pytest.approx(0.25)
+
+    def test_sampling_respects_weights(self):
+        mix = MixtureDistribution(self._components(), weights=[0.2, 0.8])
+        samples = mix.sample(5000, seed=0)
+        in_second = np.mean(samples[:, 0] >= 2.0)
+        assert in_second == pytest.approx(0.8, abs=0.03)
+
+    def test_invalid_weights(self):
+        with pytest.raises(InvalidParameterError):
+            MixtureDistribution(self._components(), weights=[0.5, 0.6])
+        with pytest.raises(InvalidParameterError):
+            MixtureDistribution(self._components(), weights=[-0.5, 1.5])
+
+    def test_dim_mismatch_rejected(self):
+        comps = [
+            IndependentProduct([UniformDistribution(0, 1)]),
+            IndependentProduct(
+                [UniformDistribution(0, 1), UniformDistribution(0, 1)]
+            ),
+        ]
+        with pytest.raises(InvalidParameterError):
+            MixtureDistribution(comps)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MixtureDistribution([])
+
+
+class TestEmpiricalDistribution:
+    def test_moments_are_sample_moments(self):
+        samples = np.array([[0.0, 0.0], [2.0, 4.0]])
+        emp = EmpiricalDistribution(samples)
+        assert np.allclose(emp.mean_vector, [1.0, 2.0])
+        assert np.allclose(emp.second_moment_vector, [2.0, 8.0])
+
+    def test_weighted_moments(self):
+        samples = np.array([[0.0], [4.0]])
+        emp = EmpiricalDistribution(samples, weights=[3.0, 1.0])
+        assert emp.mean_vector[0] == pytest.approx(1.0)
+
+    def test_region_is_bounding_box(self):
+        emp = EmpiricalDistribution(np.array([[0.0, 5.0], [2.0, -1.0]]))
+        assert np.allclose(emp.region.lower, [0.0, -1.0])
+        assert np.allclose(emp.region.upper, [2.0, 5.0])
+
+    def test_bootstrap_sampling(self):
+        emp = EmpiricalDistribution(np.array([[1.0], [2.0], [3.0]]))
+        draws = emp.sample(1000, seed=0)
+        assert set(np.unique(draws)).issubset({1.0, 2.0, 3.0})
+
+    def test_pmf_of_exact_match(self):
+        emp = EmpiricalDistribution(np.array([[1.0], [1.0], [3.0]]))
+        assert emp.pdf(np.array([[1.0]]))[0] == pytest.approx(2.0 / 3.0)
+        assert emp.pdf(np.array([[2.0]]))[0] == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            EmpiricalDistribution(np.empty((0, 2)))
+        with pytest.raises(InvalidParameterError):
+            EmpiricalDistribution(np.array([[1.0]]), weights=[-1.0])
+        with pytest.raises(InvalidParameterError):
+            EmpiricalDistribution(np.array([[1.0]]), weights=[0.0])
+
+
+class TestMultivariatePointMass:
+    def test_moments(self):
+        pm = MultivariatePointMass([1.0, -2.0])
+        assert np.allclose(pm.mean_vector, [1.0, -2.0])
+        assert pm.total_variance == 0.0
+
+    def test_samples_constant(self):
+        pm = MultivariatePointMass([1.0, -2.0])
+        samples = pm.sample(7, seed=0)
+        assert samples.shape == (7, 2)
+        assert np.all(samples == [1.0, -2.0])
+
+    def test_region_degenerate(self):
+        pm = MultivariatePointMass([0.5])
+        assert pm.region.volume == 0.0

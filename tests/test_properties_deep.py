@@ -1,0 +1,173 @@
+"""Deeper hypothesis property tests across the library's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import ClusterStats, j_mm, j_uk, j_ucpc
+from repro.evaluation import adjusted_rand_index, f_measure, purity
+from repro.objects import (
+    UncertainDataset,
+    UncertainObject,
+    pairwise_squared_expected_distances,
+    squared_expected_distance,
+)
+from repro.uncertainty import (
+    IndependentProduct,
+    MixtureDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+)
+
+# Reusable strategies -------------------------------------------------------
+
+finite_mean = st.floats(min_value=-50, max_value=50)
+small_width = st.floats(min_value=0.01, max_value=10)
+
+uniform_objects = st.lists(
+    st.tuples(finite_mean, small_width), min_size=1, max_size=8
+).map(
+    lambda params: [
+        UncertainObject.uniform_box([m], [w]) for m, w in params
+    ]
+)
+
+
+class TestDistanceProperties:
+    @given(
+        a=st.tuples(finite_mean, small_width),
+        b=st.tuples(finite_mean, small_width),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ehat_lower_bound_is_variance_sum(self, a, b):
+        """ÊD(o, o') >= sigma^2(o) + sigma^2(o') with equality iff means
+        coincide (Lemma 3's closed form)."""
+        obj_a = UncertainObject.uniform_box([a[0]], [a[1]])
+        obj_b = UncertainObject.uniform_box([b[0]], [b[1]])
+        ed = squared_expected_distance(obj_a, obj_b)
+        floor = obj_a.total_variance + obj_b.total_variance
+        assert ed >= floor - 1e-9
+        if a[0] == b[0]:
+            assert ed == pytest.approx(floor)
+
+    @given(uniform_objects)
+    @settings(max_examples=50, deadline=None)
+    def test_pairwise_matrix_consistent_with_scalar(self, objects):
+        dataset = UncertainDataset(objects)
+        matrix = pairwise_squared_expected_distances(dataset)
+        for i in range(len(objects)):
+            assert matrix[i, i] == pytest.approx(
+                2.0 * objects[i].total_variance, abs=1e-6
+            )
+
+
+class TestObjectiveProperties:
+    @given(uniform_objects)
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, objects):
+        """All cluster objectives are set functions: order must not matter."""
+        reversed_objects = list(reversed(objects))
+        assert j_uk(objects) == pytest.approx(
+            j_uk(reversed_objects), rel=1e-9, abs=1e-9
+        )
+        assert j_mm(objects) == pytest.approx(
+            j_mm(reversed_objects), rel=1e-9, abs=1e-9
+        )
+        assert j_ucpc(objects) == pytest.approx(
+            j_ucpc(reversed_objects), rel=1e-9, abs=1e-9
+        )
+
+    @given(uniform_objects)
+    @settings(max_examples=60, deadline=None)
+    def test_objectives_nonnegative(self, objects):
+        assert j_uk(objects) >= -1e-9
+        assert j_mm(objects) >= -1e-9
+        assert j_ucpc(objects) >= -1e-9
+
+    @given(uniform_objects, st.tuples(finite_mean, small_width))
+    @settings(max_examples=60, deadline=None)
+    def test_stats_add_then_remove_is_identity(self, objects, extra):
+        stats = ClusterStats.from_objects(objects)
+        before = stats.objective()
+        obj = UncertainObject.uniform_box([extra[0]], [extra[1]])
+        stats.add(obj)
+        stats.remove(obj)
+        assert stats.objective() == pytest.approx(before, rel=1e-6, abs=1e-6)
+
+    @given(uniform_objects)
+    @settings(max_examples=40, deadline=None)
+    def test_translation_shifts_only_upsilon(self, objects):
+        """Translating every object by t leaves J(C) unchanged (J is a
+        function of pairwise structure, not absolute position)."""
+        shift = 7.5
+        translated = [
+            UncertainObject.uniform_box([obj.mu[0] + shift],
+                                        [(obj.region.widths[0]) / 2.0])
+            for obj in objects
+        ]
+        assert j_ucpc(objects) == pytest.approx(
+            j_ucpc(translated), rel=1e-6, abs=1e-6
+        )
+
+
+class TestMixtureProperties:
+    @given(
+        st.lists(
+            st.tuples(finite_mean, small_width), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mixture_mean_is_convex_combination(self, params):
+        components = [
+            IndependentProduct([UniformDistribution.centered(m, w)])
+            for m, w in params
+        ]
+        mix = MixtureDistribution(components)
+        means = [c.mean_vector[0] for c in components]
+        assert min(means) - 1e-9 <= mix.mean_vector[0] <= max(means) + 1e-9
+
+    @given(
+        loc=finite_mean,
+        scale=st.floats(min_value=0.05, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mixture_of_identical_components_is_component(self, loc, scale):
+        comp = IndependentProduct(
+            [TruncatedNormalDistribution.central_mass(loc, scale, 0.95)]
+        )
+        mix = MixtureDistribution([comp, comp, comp])
+        assert mix.mean_vector[0] == pytest.approx(comp.mean_vector[0])
+        assert mix.total_variance == pytest.approx(comp.total_variance)
+
+
+class TestExternalCriteriaProperties:
+    labelings = st.lists(
+        st.integers(min_value=0, max_value=4), min_size=4, max_size=40
+    )
+
+    @given(labelings, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_relabeling_invariance(self, labels, seed):
+        """Permuting cluster ids never changes any external score."""
+        rng = np.random.default_rng(seed)
+        pred = np.array(labels)
+        ref = rng.integers(0, 3, size=pred.size)
+        permutation = rng.permutation(5)
+        permuted = permutation[pred]
+        assert f_measure(pred, ref) == pytest.approx(f_measure(permuted, ref))
+        assert purity(pred, ref) == pytest.approx(purity(permuted, ref))
+        assert adjusted_rand_index(pred, ref) == pytest.approx(
+            adjusted_rand_index(permuted, ref)
+        )
+
+    @given(labelings)
+    @settings(max_examples=40, deadline=None)
+    def test_refinement_does_not_lower_purity(self, labels):
+        """Splitting any cluster into singletons can only raise purity."""
+        pred = np.array(labels)
+        ref = pred.copy()
+        singletons = np.arange(pred.size)
+        assert purity(singletons, ref) >= purity(pred, ref) - 1e-12

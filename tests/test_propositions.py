@@ -1,0 +1,225 @@
+"""Numerical verification of every theoretical result in the paper (E7).
+
+Covers Lemma 1, Propositions 1-3, Theorems 2-3 and the figures'
+qualitative claims (variance-blindness of J_UK, failure of the
+variance-only criterion), on deterministic constructions and on random
+clusters drawn from all three pdf families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import random_uncertain_objects
+
+from repro.centroids import UCentroid
+from repro.clustering import (
+    j_hat,
+    j_mm,
+    j_uk,
+    j_uk_lemma1,
+    j_ucpc,
+    j_ucpc_closed_form,
+    sum_of_variances,
+)
+from repro.objects import UncertainObject
+
+
+def _uniform_cluster(centers, half_widths):
+    return [
+        UncertainObject.uniform_box(c, h) for c, h in zip(centers, half_widths)
+    ]
+
+
+class TestLemma1:
+    def test_juk_equals_lemma1_form(self, mixed_cluster):
+        assert j_uk(mixed_cluster) == pytest.approx(j_uk_lemma1(mixed_cluster))
+
+    def test_random_clusters(self, rng):
+        for _ in range(10):
+            cluster = random_uncertain_objects(rng, int(rng.integers(2, 9)), 3)
+            assert j_uk(cluster) == pytest.approx(j_uk_lemma1(cluster), rel=1e-9)
+
+
+class TestProposition1:
+    """J_UK equality does not imply cluster-variance equality (Figure 1)."""
+
+    def test_same_juk_different_variance(self):
+        """The proof's construction: equal sum(mu), equal sum(mu2),
+        different sum(mu^2) => equal J_UK, different cluster variance.
+
+        Cluster A: means {0, 2}, half-width h each.
+        Cluster B: means {1, 1}, half-width h' with h'^2 = h^2 + 3 so that
+        sum(mu2) matches (sum mu^2 drops from 4 to 2, variances absorb it).
+        """
+        h = 0.6
+        h_prime = np.sqrt(h * h + 3.0)
+        cluster_a = _uniform_cluster(
+            centers=[[0.0], [2.0]], half_widths=[[h], [h]]
+        )
+        cluster_b = _uniform_cluster(
+            centers=[[1.0], [1.0]], half_widths=[[h_prime], [h_prime]]
+        )
+        assert j_uk(cluster_a) == pytest.approx(j_uk(cluster_b))
+        # ... yet the cluster variances differ by 2 (the mean-spread that
+        # J_UK cannot see):
+        assert sum_of_variances(cluster_b) - sum_of_variances(
+            cluster_a
+        ) == pytest.approx(2.0)
+        # The UCPC objective J *does* separate them:
+        assert j_ucpc(cluster_a) != pytest.approx(j_ucpc(cluster_b))
+
+    def test_figure1_scenario_jук_blind_to_variance(self):
+        """Same central tendency, different variance => same J_UK shape.
+
+        Figure 1's clusters share expected values; J_UK differs only via
+        the sum of mu2 = sum of variances + fixed mean terms, so two
+        clusters whose *total* variance is equal are indistinguishable to
+        J_UK no matter how the variance is distributed — whereas J (UCPC)
+        with different cardinalities weights it by 1/|C|.
+        """
+        compact = _uniform_cluster(
+            centers=[[0.0], [1.0], [2.0]], half_widths=[[0.2]] * 3
+        )
+        spread = _uniform_cluster(
+            centers=[[0.0], [1.0], [2.0]], half_widths=[[1.2]] * 3
+        )
+        # J_UK *does* grow with variance, but only through the aggregate:
+        assert j_uk(spread) > j_uk(compact)
+        # The UCPC objective grows strictly faster (extra sum_var/|C| term):
+        gap_ucpc = j_ucpc(spread) - j_ucpc(compact)
+        gap_uk = j_uk(spread) - j_uk(compact)
+        assert gap_ucpc > gap_uk
+
+
+class TestProposition2:
+    """J_MM(C) = |C|^-1 J_UK(C)."""
+
+    def test_mixed_cluster(self, mixed_cluster):
+        assert j_mm(mixed_cluster) == pytest.approx(
+            j_uk(mixed_cluster) / len(mixed_cluster)
+        )
+
+    def test_random_clusters(self, rng):
+        for _ in range(20):
+            size = int(rng.integers(1, 12))
+            cluster = random_uncertain_objects(rng, size, int(rng.integers(1, 5)))
+            assert j_mm(cluster) == pytest.approx(
+                j_uk(cluster) / size, rel=1e-8, abs=1e-10
+            )
+
+
+class TestProposition3:
+    """Ĵ(C) = 2|C| J_MM(C) = 2 J_UK(C)."""
+
+    def test_mixed_cluster(self, mixed_cluster):
+        assert j_hat(mixed_cluster) == pytest.approx(2.0 * j_uk(mixed_cluster))
+        assert j_hat(mixed_cluster) == pytest.approx(
+            2.0 * len(mixed_cluster) * j_mm(mixed_cluster)
+        )
+
+    def test_random_clusters(self, rng):
+        for _ in range(20):
+            cluster = random_uncertain_objects(rng, int(rng.integers(1, 10)), 2)
+            assert j_hat(cluster) == pytest.approx(
+                2.0 * j_uk(cluster), rel=1e-8, abs=1e-10
+            )
+
+
+class TestTheorem2:
+    """sigma^2(C̄) = |C|^-2 sum_i sigma^2(o_i)."""
+
+    def test_random_clusters(self, rng):
+        for _ in range(15):
+            size = int(rng.integers(1, 10))
+            cluster = random_uncertain_objects(rng, size, 3)
+            centroid = UCentroid(cluster)
+            assert centroid.total_variance == pytest.approx(
+                sum_of_variances(cluster) / size**2, rel=1e-8, abs=1e-12
+            )
+
+    def test_figure2_variance_only_criterion_fails(self):
+        """Minimizing U-centroid variance alone picks the wrong cluster.
+
+        Figure 2: cluster (a) = far-apart low-variance objects; cluster
+        (b) = co-located higher-variance objects.  (b) is the better
+        cluster, but the variance-only criterion prefers (a).
+        """
+        far_low_var = _uniform_cluster(
+            centers=[[-5.0], [5.0]], half_widths=[[0.1], [0.1]]
+        )
+        close_high_var = _uniform_cluster(
+            centers=[[0.0], [0.2]], half_widths=[[1.0], [1.0]]
+        )
+        var_a = UCentroid(far_low_var).total_variance
+        var_b = UCentroid(close_high_var).total_variance
+        assert var_a < var_b  # variance-only criterion prefers (a)...
+        assert j_ucpc(close_high_var) < j_ucpc(far_low_var)  # ...J prefers (b)
+
+
+class TestTheorem3:
+    """J(C) = sum_j(Psi/|C| + Phi - Upsilon/|C|) = sum_var/|C| + J_UK."""
+
+    def test_closed_form_equals_definition(self, mixed_cluster):
+        assert j_ucpc(mixed_cluster) == pytest.approx(
+            j_ucpc_closed_form(mixed_cluster)
+        )
+
+    def test_decomposition_into_variance_plus_juk(self, mixed_cluster):
+        n = len(mixed_cluster)
+        expected = sum_of_variances(mixed_cluster) / n + j_uk(mixed_cluster)
+        assert j_ucpc(mixed_cluster) == pytest.approx(expected)
+
+    def test_random_clusters(self, rng):
+        for _ in range(20):
+            size = int(rng.integers(1, 12))
+            cluster = random_uncertain_objects(rng, size, int(rng.integers(1, 4)))
+            definition = j_ucpc(cluster)
+            closed = j_ucpc_closed_form(cluster)
+            decomposition = sum_of_variances(cluster) / size + j_uk(cluster)
+            assert definition == pytest.approx(closed, rel=1e-8, abs=1e-10)
+            assert definition == pytest.approx(decomposition, rel=1e-8, abs=1e-10)
+
+    @given(
+        means=st.lists(
+            st.floats(min_value=-20, max_value=20), min_size=2, max_size=8
+        ),
+        widths=st.lists(
+            st.floats(min_value=0.01, max_value=5), min_size=2, max_size=8
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_theorem3_property_uniform_objects(self, means, widths):
+        size = min(len(means), len(widths))
+        cluster = [
+            UncertainObject.uniform_box([means[i]], [widths[i]])
+            for i in range(size)
+        ]
+        definition = j_ucpc(cluster)
+        closed = j_ucpc_closed_form(cluster)
+        assert definition == pytest.approx(closed, rel=1e-7, abs=1e-8)
+        assert definition >= -1e-9  # J is a sum of expected squared distances
+
+
+class TestObjectiveEdgeCases:
+    def test_all_objectives_reject_empty(self):
+        from repro.exceptions import EmptyClusterError
+
+        for fn in (j_uk, j_mm, j_hat, j_ucpc, j_ucpc_closed_form, sum_of_variances):
+            with pytest.raises(EmptyClusterError):
+                fn([])
+
+    def test_singleton_point_mass_gives_zero(self):
+        cluster = [UncertainObject.from_point([1.0, 2.0])]
+        assert j_uk(cluster) == 0.0
+        assert j_mm(cluster) == 0.0
+        assert j_ucpc(cluster) == pytest.approx(0.0)
+
+    def test_singleton_uncertain_object(self):
+        obj = UncertainObject.uniform_box([0.0], [1.0])
+        # J({o}) = ÊD(o, o-as-centroid) = 2 * sigma^2(o) / ... check via
+        # Theorem 3: sum_var/1 + J_UK = sigma^2 + sigma^2 = 2 sigma^2.
+        assert j_ucpc([obj]) == pytest.approx(2.0 * obj.total_variance)

@@ -1,0 +1,133 @@
+"""Tests for basic UK-means and the pruning variants (MinMax-BB, VDBiP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import BasicUKMeans, MinMaxBB, UKMeans, VDBiP
+from repro.clustering.pruning import _PruningUKMeansBase
+from repro.datagen import make_blobs_uncertain
+from repro.evaluation import f_measure
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_blobs_uncertain(
+        n_objects=120, n_clusters=3, separation=7.0, seed=17
+    )
+
+
+class TestBasicUKMeans:
+    def test_recovers_blobs(self, data):
+        result = BasicUKMeans(n_clusters=3, n_samples=32).fit(data, seed=0)
+        assert f_measure(result.labels, data.labels) > 0.9
+
+    def test_counts_ed_evaluations(self, data):
+        result = BasicUKMeans(n_clusters=3, n_samples=16).fit(data, seed=0)
+        evals = result.extras["ed_evaluations"]
+        # bUKM evaluates every (object, centroid) pair every iteration.
+        assert evals == len(data) * 3 * result.n_iterations
+
+    def test_custom_metric(self, data):
+        def manhattan(x, y):
+            return float(np.abs(x - y).sum())
+
+        small = data.subset(range(30))
+        result = BasicUKMeans(n_clusters=3, n_samples=8, metric=manhattan).fit(
+            small, seed=1
+        )
+        assert result.n_clusters == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            BasicUKMeans(n_clusters=2, n_samples=0)
+        with pytest.raises(InvalidParameterError):
+            BasicUKMeans(n_clusters=2, max_iter=0)
+
+    def test_agrees_with_fast_ukmeans_on_separated_data(self, data):
+        """With squared Euclidean ED, bUKM's MC estimate converges to the
+        fast UK-means assignment on well-separated clusters."""
+        basic = BasicUKMeans(n_clusters=3, n_samples=64).fit(data, seed=3)
+        fast = UKMeans(n_clusters=3, init="kmeans++").fit(data, seed=3)
+        assert f_measure(basic.labels, data.labels) == pytest.approx(
+            f_measure(fast.labels, data.labels), abs=0.1
+        )
+
+
+@pytest.mark.parametrize("cls", [MinMaxBB, VDBiP], ids=["MinMaxBB", "VDBiP"])
+class TestPruningVariants:
+    def test_recovers_blobs(self, cls, data):
+        result = cls(n_clusters=3, n_samples=32).fit(data, seed=0)
+        assert f_measure(result.labels, data.labels) > 0.9
+
+    def test_prunes_something(self, cls, data):
+        result = cls(n_clusters=3, n_samples=16).fit(data, seed=0)
+        assert result.extras["ed_pruned"] > 0
+        assert 0.0 < result.extras["pruning_rate"] <= 1.0
+
+    def test_pruning_is_lossless(self, cls, data):
+        """Pruned and unpruned runs produce the same clustering quality
+        (pruning only skips provably non-winning candidates)."""
+        pruned = cls(n_clusters=3, n_samples=32).fit(data, seed=5)
+        plain = BasicUKMeans(n_clusters=3, n_samples=32).fit(data, seed=5)
+        assert f_measure(pruned.labels, plain.labels) > 0.95
+
+    def test_cluster_shift_toggle(self, cls, data):
+        with_shift = cls(n_clusters=3, n_samples=16, cluster_shift=True).fit(
+            data, seed=1
+        )
+        without = cls(n_clusters=3, n_samples=16, cluster_shift=False).fit(
+            data, seed=1
+        )
+        assert with_shift.extras["cluster_shift"] is True
+        assert without.extras["cluster_shift"] is False
+        # Pruning (with or without shift bounds) is lossless: identical
+        # seeds produce identical clusterings.
+        assert f_measure(with_shift.labels, without.labels) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self, cls):
+        with pytest.raises(InvalidParameterError):
+            cls(n_clusters=2, n_samples=0)
+        with pytest.raises(InvalidParameterError):
+            cls(n_clusters=2, max_iter=0)
+
+
+class TestCandidateMasks:
+    """The pruning masks must never eliminate the true nearest centroid."""
+
+    def _boxes_and_centers(self, seed):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(0, 5, size=(4, 2))
+        mids = rng.normal(0, 5, size=(25, 2))
+        half = rng.uniform(0.1, 1.5, size=(25, 2))
+        return mids - half, mids + half, mids, centers
+
+    @pytest.mark.parametrize("cls", [MinMaxBB, VDBiP], ids=["MinMaxBB", "VDBiP"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mask_keeps_nearest_center_of_every_interior_point(self, cls, seed):
+        lower, upper, mids, centers = self._boxes_and_centers(seed)
+        algo = cls(n_clusters=4)
+        mask = algo._candidate_mask(lower, upper, centers)
+        # For random points inside each box, the nearest center must
+        # remain a candidate (the pruning bounds hold for all box points,
+        # hence for the pdf's support).
+        rng = np.random.default_rng(seed + 100)
+        for i in range(lower.shape[0]):
+            for _ in range(5):
+                x = rng.uniform(lower[i], upper[i])
+                dists = ((centers - x) ** 2).sum(axis=1)
+                nearest = int(np.argmin(dists))
+                assert mask[i, nearest], (
+                    f"pruned the nearest center {nearest} for object {i}"
+                )
+
+    def test_base_class_mask_not_implemented(self):
+        class Dummy(_PruningUKMeansBase):
+            name = "dummy"
+
+        with pytest.raises(NotImplementedError):
+            Dummy(n_clusters=2)._candidate_mask(
+                np.zeros((1, 1)), np.ones((1, 1)), np.zeros((2, 1))
+            )

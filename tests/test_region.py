@@ -1,0 +1,168 @@
+"""Tests for repro.uncertainty.region (BoxRegion + Theorem 1's region)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.uncertainty.region import BoxRegion, scaled_minkowski_sum
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        region = BoxRegion([0.0, -1.0], [2.0, 3.0])
+        assert region.dim == 2
+        assert np.allclose(region.widths, [2.0, 4.0])
+        assert np.allclose(region.center, [1.0, 1.0])
+        assert region.volume == pytest.approx(8.0)
+
+    def test_degenerate_dimension_allowed(self):
+        region = BoxRegion([1.0, 2.0], [1.0, 5.0])
+        assert region.volume == 0.0
+        assert region.contains([1.0, 3.0])
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoxRegion([2.0], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoxRegion([np.nan], [1.0])
+
+    def test_infinite_bounds_allowed(self):
+        region = BoxRegion([-np.inf], [np.inf])
+        assert region.contains([1e12])
+
+    def test_from_intervals(self):
+        region = BoxRegion.from_intervals([(0, 1), (2, 3)])
+        assert region.dim == 2
+        assert region.contains([0.5, 2.5])
+
+    def test_from_intervals_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoxRegion.from_intervals([])
+
+    def test_point_region(self):
+        region = BoxRegion.point([1.0, 2.0])
+        assert region.volume == 0.0
+        assert region.contains([1.0, 2.0])
+        assert not region.contains([1.0, 2.1])
+
+    def test_bounds_are_read_only(self):
+        region = BoxRegion([0.0], [1.0])
+        with pytest.raises(ValueError):
+            region.lower[0] = 5.0
+
+    def test_equality_and_hash(self):
+        a = BoxRegion([0.0], [1.0])
+        b = BoxRegion([0.0], [1.0])
+        c = BoxRegion([0.0], [2.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_yields_interval_pairs(self):
+        region = BoxRegion([0.0, 1.0], [2.0, 3.0])
+        assert list(region) == [(0.0, 2.0), (1.0, 3.0)]
+
+    def test_repr_mentions_intervals(self):
+        assert "[0, 1]" in repr(BoxRegion([0.0], [1.0]))
+
+
+class TestGeometry:
+    def test_contains_boundary(self):
+        region = BoxRegion([0.0], [1.0])
+        assert region.contains([0.0])
+        assert region.contains([1.0])
+        assert not region.contains([1.1])
+
+    def test_clip_projects_onto_box(self):
+        region = BoxRegion([0.0, 0.0], [1.0, 1.0])
+        assert np.allclose(region.clip([2.0, -1.0]), [1.0, 0.0])
+        assert np.allclose(region.clip([0.5, 0.5]), [0.5, 0.5])
+
+    def test_min_dist_zero_inside(self):
+        region = BoxRegion([0.0, 0.0], [1.0, 1.0])
+        assert region.min_dist_sq([0.5, 0.5]) == 0.0
+
+    def test_min_dist_outside(self):
+        region = BoxRegion([0.0, 0.0], [1.0, 1.0])
+        # Point (2, 2): nearest box point is (1, 1), squared distance 2.
+        assert region.min_dist_sq([2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_max_dist_is_farthest_corner(self):
+        region = BoxRegion([0.0, 0.0], [1.0, 1.0])
+        # From the origin corner, the farthest corner is (1, 1).
+        assert region.max_dist_sq([0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_min_le_max_everywhere(self, rng):
+        region = BoxRegion([-1.0, 0.0, 2.0], [1.0, 5.0, 2.5])
+        for _ in range(50):
+            p = rng.normal(0, 3, size=3)
+            assert region.min_dist_sq(p) <= region.max_dist_sq(p) + 1e-12
+
+    def test_intersects(self):
+        a = BoxRegion([0.0], [1.0])
+        b = BoxRegion([0.5], [2.0])
+        c = BoxRegion([1.5], [2.0])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        # Touching boxes are considered intersecting (closed boxes).
+        assert a.intersects(BoxRegion([1.0], [2.0]))
+
+    def test_union_box(self):
+        a = BoxRegion([0.0, 0.0], [1.0, 1.0])
+        b = BoxRegion([2.0, -1.0], [3.0, 0.5])
+        u = a.union_box(b)
+        assert np.allclose(u.lower, [0.0, -1.0])
+        assert np.allclose(u.upper, [3.0, 1.0])
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            BoxRegion([0.0], [1.0]).intersects(BoxRegion([0.0, 0.0], [1.0, 1.0]))
+
+
+class TestScaledMinkowskiSum:
+    def test_theorem1_region_formula(self):
+        # Theorem 1: centroid region bounds are the averages of member bounds.
+        r1 = BoxRegion([0.0, 0.0], [2.0, 4.0])
+        r2 = BoxRegion([2.0, -2.0], [4.0, 0.0])
+        centroid_region = scaled_minkowski_sum([r1, r2])
+        assert np.allclose(centroid_region.lower, [1.0, -1.0])
+        assert np.allclose(centroid_region.upper, [3.0, 2.0])
+
+    def test_single_region_identity(self):
+        r = BoxRegion([0.0], [1.0])
+        assert scaled_minkowski_sum([r]) == r
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            scaled_minkowski_sum([])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            scaled_minkowski_sum(
+                [BoxRegion([0.0], [1.0]), BoxRegion([0.0, 0.0], [1.0, 1.0])]
+            )
+
+    @given(
+        lows=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=2, max_size=6
+        ),
+        widths=st.lists(
+            st.floats(min_value=0, max_value=50), min_size=2, max_size=6
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_average_of_member_means_inside(self, lows, widths):
+        """The average of member centers always lies in the centroid region."""
+        size = min(len(lows), len(widths))
+        regions = [
+            BoxRegion([lows[i]], [lows[i] + widths[i]]) for i in range(size)
+        ]
+        combined = scaled_minkowski_sum(regions)
+        centers = np.array([r.center[0] for r in regions])
+        assert combined.contains([centers.mean()], atol=1e-9)

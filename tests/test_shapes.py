@@ -1,0 +1,144 @@
+"""Unit tests of the shape-check predicates (on synthetic reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import Figure4Report
+from repro.experiments.figure5 import Figure5Report
+from repro.experiments.shapes import (
+    ShapeCheck,
+    check_density_methods_weak_theta,
+    check_linear_scalability,
+    check_pruning_between_bukm_and_ukm,
+    check_slow_group_slower_at_scale,
+    check_ucpc_beats_mmvar_quality,
+    check_ucpc_beats_ukmeans_theta,
+    check_ucpc_quality_competitive,
+    check_ucpc_same_order_as_fast_group,
+    check_uahc_strong_at_large_k,
+)
+from repro.experiments.table2 import Table2Cell, Table2Report
+from repro.experiments.table3 import Table3Report
+
+
+def _table2(ucpc_theta, ukm_theta, ucpc_q=0.3, ukm_q=0.2):
+    report = Table2Report(
+        datasets=("iris",), families=("normal",),
+        algorithms=("FDB", "FOPT", "UKM", "UKmed", "MMV", "UCPC"),
+    )
+    values = {
+        "FDB": (-0.1, 0.1),
+        "FOPT": (0.0, 0.1),
+        "UKM": (ukm_theta, ukm_q),
+        "UKmed": (0.01, 0.15),
+        "MMV": (0.02, 0.05),
+        "UCPC": (ucpc_theta, ucpc_q),
+    }
+    for alg, (theta, quality) in values.items():
+        report.cells[("iris", "normal", alg)] = Table2Cell(theta, quality)
+    return report
+
+
+def _table3(ucpc=0.5, mmv=0.4, uahc_small=0.1, uahc_large=0.3):
+    report = Table3Report(
+        datasets=("neuroblastoma",),
+        cluster_counts=(2, 5, 20, 30),
+        algorithms=("MMV", "UAHC", "UCPC"),
+    )
+    uahc = {2: uahc_small, 5: uahc_small, 20: uahc_large, 30: uahc_large}
+    for k in report.cluster_counts:
+        report.quality[("neuroblastoma", k, "MMV")] = mmv
+        report.quality[("neuroblastoma", k, "UCPC")] = ucpc
+        report.quality[("neuroblastoma", k, "UAHC")] = uahc[k]
+    return report
+
+
+def _figure4(ucpc=30.0, ukm=10.0, mmv=25.0, bukm=200.0, prune=80.0, slow=500.0):
+    report = Figure4Report(
+        datasets=("abalone", "letter"),
+        slow_group=("UKmed", "bUKM", "UAHC", "FDB", "FOPT"),
+        fast_group=("UKM", "MMV", "MinMax-BB", "VDBiP"),
+    )
+    for ds in report.datasets:
+        report.runtimes_ms[(ds, "UCPC")] = ucpc
+        report.runtimes_ms[(ds, "UKM")] = ukm
+        report.runtimes_ms[(ds, "MMV")] = mmv
+        report.runtimes_ms[(ds, "bUKM")] = bukm
+        report.runtimes_ms[(ds, "MinMax-BB")] = prune
+        report.runtimes_ms[(ds, "VDBiP")] = prune
+        for alg in ("UKmed", "UAHC", "FDB", "FOPT"):
+            report.runtimes_ms[(ds, alg)] = slow
+        report.runtimes_ms[(ds, "UKmed")] = 1.0  # off-line-excluded exemption
+    return report
+
+
+def _figure5(linear=True):
+    report = Figure5Report(fractions=(0.25, 0.5, 1.0), algorithms=("UKM", "UCPC"))
+    for frac in report.fractions:
+        n = int(1000 * frac)
+        report.sizes[frac] = n
+        report.runtimes_ms[(frac, "UKM")] = n * 0.01
+        report.runtimes_ms[(frac, "UCPC")] = (
+            n * 0.05 if linear else n * n * 1e-4
+        )
+    return report
+
+
+class TestTable2Checks:
+    def test_theta_gain_pass_and_fail(self):
+        assert check_ucpc_beats_ukmeans_theta(_table2(0.2, 0.1)).passed
+        assert not check_ucpc_beats_ukmeans_theta(_table2(0.05, 0.1)).passed
+
+    def test_quality_competitive(self):
+        assert check_ucpc_quality_competitive(_table2(0.2, 0.1)).passed
+        assert not check_ucpc_quality_competitive(
+            _table2(0.2, 0.1, ucpc_q=0.1, ukm_q=0.3)
+        ).passed
+
+    def test_density_weak(self):
+        assert check_density_methods_weak_theta(_table2(0.2, 0.1)).passed
+        assert not check_density_methods_weak_theta(_table2(-0.5, 0.1)).passed
+
+
+class TestTable3Checks:
+    def test_mmvar_gain(self):
+        assert check_ucpc_beats_mmvar_quality(_table3()).passed
+        assert not check_ucpc_beats_mmvar_quality(_table3(ucpc=0.3, mmv=0.4)).passed
+
+    def test_uahc_trend(self):
+        assert check_uahc_strong_at_large_k(_table3()).passed
+        assert not check_uahc_strong_at_large_k(
+            _table3(uahc_small=0.4, uahc_large=0.1)
+        ).passed
+
+
+class TestFigure4Checks:
+    def test_same_order(self):
+        assert check_ucpc_same_order_as_fast_group(_figure4()).passed
+        assert not check_ucpc_same_order_as_fast_group(
+            _figure4(ucpc=5000.0)
+        ).passed
+
+    def test_slow_group(self):
+        assert check_slow_group_slower_at_scale(_figure4()).passed
+        assert not check_slow_group_slower_at_scale(_figure4(slow=1.0)).passed
+
+    def test_pruning_band(self):
+        assert check_pruning_between_bukm_and_ukm(_figure4()).passed
+        assert not check_pruning_between_bukm_and_ukm(
+            _figure4(prune=2000.0)
+        ).passed
+
+
+class TestFigure5Checks:
+    def test_linear(self):
+        assert check_linear_scalability(_figure5(linear=True)).passed
+        assert not check_linear_scalability(
+            _figure5(linear=False), min_r2=0.999
+        ).passed
+
+    def test_str_rendering(self):
+        check = ShapeCheck(name="x", passed=True, detail="d")
+        assert "PASS" in str(check)
+        assert "FAIL" in str(ShapeCheck(name="x", passed=False, detail="d"))
