@@ -49,6 +49,7 @@ from repro.evaluation import (
     internal_scores,
     quality_score,
 )
+from repro.engine import MultiRestartRunner, RestartRecord
 from repro.exceptions import ReproError
 from repro.objects import (
     UncertainDataset,
@@ -101,6 +102,9 @@ __all__ = [
     "f_measure",
     "internal_scores",
     "quality_score",
+    # engine
+    "MultiRestartRunner",
+    "RestartRecord",
     # errors
     "ReproError",
     # objects

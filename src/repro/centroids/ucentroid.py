@@ -34,7 +34,6 @@ from repro.objects.uncertain_object import UncertainObject
 from repro.uncertainty.empirical import EmpiricalDistribution
 from repro.uncertainty.region import BoxRegion, scaled_minkowski_sum
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import ensure_vector
 
 
 class UCentroid:

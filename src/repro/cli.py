@@ -153,7 +153,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rows = []
     for name in ACCURACY_ROSTER:
         algorithm = build_algorithm(name, n_clusters=3, n_samples=16)
-        result = algorithm.fit(data, seed=args.seed)
+        # Objective-less algorithms (FDB/FOPT/UAHC) cannot rank restarts,
+        # so best-of-n would burn n fits and keep the first — skip it.
+        if args.n_init > 1 and algorithm.has_objective:
+            result = algorithm.fit_best(
+                data, seed=args.seed, n_init=args.n_init, n_jobs=args.jobs
+            )
+        else:
+            result = algorithm.fit(data, seed=args.seed)
         rows.append(
             [
                 name,
@@ -162,11 +169,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 result.runtime_seconds * 1e3,
             ]
         )
+    title = "Uncertain-blob demo (n=150, k=3)"
+    if args.n_init > 1:
+        title += f", best of {args.n_init} restarts"
     print(
         format_table(
             rows,
             headers=["algorithm", "F-measure", "Q", "time [ms]"],
-            title="Uncertain-blob demo (n=150, k=3)",
+            title=title,
         )
     )
     return 0
@@ -221,6 +231,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     pd = sub.add_parser("demo", help="one-minute algorithm comparison")
     pd.add_argument("--seed", type=int, default=0)
+    pd.add_argument(
+        "--n-init",
+        type=int,
+        default=1,
+        help="random restarts per algorithm (best objective wins)",
+    )
+    pd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the restarts (1 = sequential)",
+    )
     pd.set_defaults(func=_cmd_demo)
 
     return parser

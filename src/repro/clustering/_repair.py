@@ -1,0 +1,78 @@
+"""Shared empty-cluster repair used by the K-means-style algorithms.
+
+Lloyd-style assignment steps can leave a cluster empty (all its objects
+found a nearer centroid).  The paper's partitional algorithms require a
+partition into exactly ``k`` non-empty clusters, so every such algorithm
+repairs the assignment by moving the object farthest from its current
+centroid into each empty cluster.
+
+Two failure modes of naive implementations are handled here centrally:
+
+* **cascades** — the chosen victim may be the *sole* member of its own
+  cluster, so moving it merely relocates the emptiness; such victims are
+  excluded up front;
+* **stale worklists** — iterating over a ``flatnonzero(counts == 0)``
+  snapshot never notices clusters emptied by the repair itself; the loop
+  below re-derives the empty set after every move.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._typing import IntArray
+
+
+def repair_empty_clusters(
+    assignment: IntArray,
+    points: np.ndarray,
+    centers: np.ndarray,
+    k: int,
+) -> List[Tuple[int, int]]:
+    """Fill every empty cluster in ``assignment`` in place.
+
+    For each empty cluster the object farthest (squared Euclidean) from
+    its currently assigned centroid is moved into it.  Objects that are
+    the sole member of their cluster are never selected, so a repair can
+    never empty another cluster; the empty set is recomputed after every
+    move, so no emptiness — pre-existing or freshly created — is missed.
+
+    Parameters
+    ----------
+    assignment:
+        Cluster index per object, modified in place.
+    points:
+        Per-object representative points, shape ``(n, m)`` — expected
+        values or sample means, whatever the caller assigns against.
+    centers:
+        Current centroids, shape ``(k, m)`` (read-only here).
+    k:
+        Number of clusters.
+
+    Returns
+    -------
+    list of (cluster, victim) pairs
+        The moves applied, in order, so callers can mirror side effects
+        (e.g. reseeding the repaired cluster's centroid on the victim).
+    """
+    moves: List[Tuple[int, int]] = []
+    counts = np.bincount(assignment, minlength=k)
+    while True:
+        empty = np.flatnonzero(counts == 0)
+        if empty.size == 0:
+            return moves
+        cluster = int(empty[0])
+        diffs = points - centers[assignment]
+        dist = np.einsum("ij,ij->i", diffs, diffs)
+        movable = counts[assignment] > 1
+        if not movable.any():
+            # Only possible when k > n; nothing can be moved safely.
+            return moves
+        dist[~movable] = -np.inf
+        victim = int(np.argmax(dist))
+        counts[assignment[victim]] -= 1
+        assignment[victim] = cluster
+        counts[cluster] += 1
+        moves.append((cluster, victim))

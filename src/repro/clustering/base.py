@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -115,9 +115,35 @@ class UncertainClusterer(abc.ABC):
     #: Human-readable algorithm name used in reports (paper's abbreviations).
     name: str = "clusterer"
 
+    #: Whether :meth:`fit` produces a comparable ``objective`` value.
+    #: Algorithms without one (density-based, hierarchical) cannot be
+    #: ranked by a best-of-``n_init`` loop, so callers should skip
+    #: multi-restart execution for them.
+    has_objective: bool = True
+
     @abc.abstractmethod
     def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Cluster ``dataset`` and return a :class:`ClusteringResult`."""
+
+    def fit_best(
+        self,
+        dataset: UncertainDataset,
+        seed: SeedLike = None,
+        n_init: int = 10,
+        n_jobs: int = 1,
+    ) -> ClusteringResult:
+        """Best-of-``n_init`` restarts via the multi-restart engine.
+
+        Convenience wrapper around
+        :class:`repro.engine.MultiRestartRunner`: restarts share the
+        dataset's moment cache and (for sample-based algorithms) one
+        precomputed sample tensor, run sequentially or process-parallel
+        (``n_jobs``), and the lowest-objective result wins.
+        """
+        from repro.engine import MultiRestartRunner
+
+        runner = MultiRestartRunner(self, n_init=n_init, n_jobs=n_jobs)
+        return runner.run(dataset, seed=seed)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -21,7 +21,7 @@ everywhere else.  ``tests/test_cluster_stats.py`` covers both regimes.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -99,6 +99,7 @@ class FDBSCAN(UncertainClusterer):
     """
 
     name = "FDB"
+    has_objective = False
 
     def __init__(
         self,

@@ -18,7 +18,7 @@ unspecified).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -123,6 +123,7 @@ class FOPTICS(UncertainClusterer):
     """
 
     name = "FOPT"
+    has_objective = False
 
     def __init__(
         self,

@@ -27,11 +27,13 @@ pruning structures is excluded from the clustering-time measurement.
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import List
 
 import numpy as np
 
-from repro._typing import IntArray, SeedLike
+from repro._typing import SeedLike
+from repro.clustering._repair import repair_empty_clusters
+from repro.clustering._sampling import SampleCacheMixin
 from repro.clustering.base import (
     ClusteringResult,
     UncertainClusterer,
@@ -45,7 +47,7 @@ from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
 
 
-class _PruningUKMeansBase(UncertainClusterer):
+class _PruningUKMeansBase(SampleCacheMixin, UncertainClusterer):
     """Shared machinery of the pruning-based UK-means variants."""
 
     def __init__(
@@ -82,9 +84,7 @@ class _PruningUKMeansBase(UncertainClusterer):
         rng = ensure_rng(seed)
 
         # Off-line phase (untimed, as in the paper): samples and boxes.
-        samples = np.empty((n, self.n_samples, dataset.dim))
-        for idx, obj in enumerate(dataset):
-            samples[idx] = obj.sample(self.n_samples, rng)
+        samples = self._draw_samples(dataset, rng)
         sample_means = samples.mean(axis=1)
         boxes_lower = np.vstack([obj.region.lower for obj in dataset])
         boxes_upper = np.vstack([obj.region.upper for obj in dataset])
@@ -93,7 +93,13 @@ class _PruningUKMeansBase(UncertainClusterer):
         centers = sample_means[seeds].copy()
 
         ed_matrix = np.full((n, k), np.nan)  # cached exact EDs (cluster-shift)
-        prev_centers = centers.copy()
+        # Iteration at which each ed_matrix entry was computed (-1 =
+        # never).  The shift bound must account for the *cumulative*
+        # centroid displacement since that iteration, not just the last
+        # step — a cached ED can survive many iterations while its
+        # centroid keeps drifting.
+        ed_iteration = np.full((n, k), -1, dtype=np.int64)
+        centers_log: List[np.ndarray] = []
         ed_computed = 0
         ed_pruned = 0
 
@@ -109,10 +115,11 @@ class _PruningUKMeansBase(UncertainClusterer):
                 # clustering time, exactly as in Section 5.2.2 of the
                 # paper ("pruning times ... were discarded").
                 watch.stop()
+                centers_log.append(centers.copy())
                 candidates = self._candidate_mask(boxes_lower, boxes_upper, centers)
                 if self.cluster_shift and iteration > 0:
                     candidates = self._tighten_with_shift(
-                        candidates, ed_matrix, centers, prev_centers
+                        candidates, ed_matrix, ed_iteration, centers, centers_log
                     )
                 watch.start()
                 new_assignment = np.empty(n, dtype=np.int64)
@@ -134,16 +141,16 @@ class _PruningUKMeansBase(UncertainClusterer):
                         eds = np.einsum("nsm,nsm->ns", diff, diff).mean(axis=1)
                         eds_multi[rows, j] = eds
                         ed_matrix[rows, j] = eds
+                        ed_iteration[rows, j] = iteration
                         ed_computed += int(rows.size)
                     n_multi = int(multi.sum())
                     ed_pruned += int(n_multi * k - candidates[multi].sum())
                     new_assignment[multi] = np.argmin(eds_multi[multi], axis=1)
-                self._repair_empty(new_assignment, sample_means, centers, k)
+                repair_empty_clusters(new_assignment, sample_means, centers, k)
                 if np.array_equal(new_assignment, assignment):
                     converged = True
                     break
                 assignment = new_assignment
-                prev_centers = centers.copy()
                 for c in range(k):
                     members = assignment == c
                     if members.any():
@@ -174,23 +181,35 @@ class _PruningUKMeansBase(UncertainClusterer):
     def _tighten_with_shift(
         candidates: np.ndarray,
         ed_matrix: np.ndarray,
+        ed_iteration: np.ndarray,
         centers: np.ndarray,
-        prev_centers: np.ndarray,
+        centers_log: List[np.ndarray],
     ) -> np.ndarray:
         """Cluster-shift bound tightening [17].
 
-        With ``delta_c = ||c_new - c_old||`` and a cached exact
-        ``ED_old(o, c)``, the squared-Euclidean ED obeys
-        ``(sqrt(ED_old) - delta)^2 <= ED_new <= (sqrt(ED_old)+delta)^2``
-        (triangle inequality inside the expectation, then Jensen).  Any
-        centroid whose shifted lower bound exceeds another centroid's
-        shifted upper bound cannot win and is pruned.
+        With ``delta(o, c) = ||c_now - c_at_cache||`` — the displacement
+        of centroid ``c`` since the iteration at which ``ED_old(o, c)``
+        was cached — the squared-Euclidean ED obeys ``(sqrt(ED_old) -
+        delta)^2 <= ED_new <= (sqrt(ED_old) + delta)^2`` (triangle
+        inequality inside the expectation, then Jensen).  Any centroid
+        whose shifted lower bound exceeds another centroid's shifted
+        upper bound cannot win and is pruned.
+
+        Cache entries may be several iterations old (an entry is only
+        refreshed when the object/centroid pair survives pruning), so
+        the displacement is taken against the logged centroid position
+        of the entry's own iteration — using only the last step's shift
+        would understate ``delta`` and make the bounds invalid.
         """
-        shift = np.linalg.norm(centers - prev_centers, axis=1)
-        have = np.isfinite(ed_matrix)
+        k = centers.shape[0]
+        # shift_since[t, j] = ||centers[j] - centers_log[t][j]||
+        history = np.stack(centers_log)  # (T, k, m)
+        shift_since = np.linalg.norm(centers[None, :, :] - history, axis=2)
+        have = np.isfinite(ed_matrix) & (ed_iteration >= 0)
+        delta = shift_since[np.maximum(ed_iteration, 0), np.arange(k)[None, :]]
         roots = np.sqrt(np.where(have, np.maximum(ed_matrix, 0.0), 0.0))
-        upper = np.where(have, (roots + shift[None, :]) ** 2, np.inf)
-        lower = np.where(have, np.maximum(roots - shift[None, :], 0.0) ** 2, 0.0)
+        upper = np.where(have, (roots + delta) ** 2, np.inf)
+        lower = np.where(have, np.maximum(roots - delta, 0.0) ** 2, 0.0)
         best_upper = upper.min(axis=1)
         keep = lower <= best_upper[:, None]
         tightened = candidates & keep
@@ -199,21 +218,6 @@ class _PruningUKMeansBase(UncertainClusterer):
         if dead.any():
             tightened[dead] = candidates[dead]
         return tightened
-
-    @staticmethod
-    def _repair_empty(
-        assignment: IntArray,
-        sample_means: np.ndarray,
-        centers: np.ndarray,
-        k: int,
-    ) -> None:
-        counts = np.bincount(assignment, minlength=k)
-        for cluster in np.flatnonzero(counts == 0):
-            diffs = sample_means - centers[assignment]
-            dist = np.einsum("ij,ij->i", diffs, diffs)
-            victim = int(np.argmax(dist))
-            assignment[victim] = cluster
-            counts = np.bincount(assignment, minlength=k)
 
 
 class MinMaxBB(_PruningUKMeansBase):

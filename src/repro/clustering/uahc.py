@@ -74,6 +74,7 @@ class UAHC(UncertainClusterer):
     """
 
     name = "UAHC"
+    has_objective = False
 
     def __init__(self, n_clusters: int, linkage: str = "jeffreys"):
         if linkage not in ("jeffreys", "ed"):

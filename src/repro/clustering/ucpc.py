@@ -23,7 +23,6 @@ Algorithm outline (Alg. 1 of the paper):
 from __future__ import annotations
 
 import warnings
-from typing import Optional
 
 import numpy as np
 
@@ -208,16 +207,14 @@ class UCPC(UncertainClusterer):
                 j_with = (psi_tot + s) / counts_plus + (phi_tot + p) - (
                     ups + 2.0 * cross + mu_norm_sq[idx]
                 ) / counts_plus
+                # counts[own] > 1 is guaranteed by the continue above.
                 n_minus = counts[own] - 1.0
-                if n_minus == 0.0:
-                    j_without = 0.0
-                else:
-                    j_without = (
-                        (psi_tot[own] - s) / n_minus
-                        + (phi_tot[own] - p)
-                        - (ups[own] - 2.0 * cross[own] + mu_norm_sq[idx])
-                        / n_minus
-                    )
+                j_without = (
+                    (psi_tot[own] - s) / n_minus
+                    + (phi_tot[own] - p)
+                    - (ups[own] - 2.0 * cross[own] + mu_norm_sq[idx])
+                    / n_minus
+                )
                 # Candidate total change for moving idx into cluster c:
                 # [J(own \ o) + J(c ∪ o)] - [J(own) + J(c)]
                 delta = (j_without - objectives[own]) + (j_with - objectives)

@@ -26,7 +26,7 @@ import warnings
 
 import numpy as np
 
-from repro._typing import IntArray, SeedLike
+from repro._typing import SeedLike
 from repro.clustering.base import (
     ClusteringResult,
     UncertainClusterer,

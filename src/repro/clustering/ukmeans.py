@@ -18,6 +18,7 @@ import warnings
 import numpy as np
 
 from repro._typing import IntArray, SeedLike
+from repro.clustering._repair import repair_empty_clusters
 from repro.clustering.base import (
     ClusteringResult,
     UncertainClusterer,
@@ -49,14 +50,9 @@ def _repair_empty_clusters(
 ) -> tuple[np.ndarray, IntArray]:
     """Reseed any empty cluster with the object farthest from its center."""
     k = centers.shape[0]
-    counts = np.bincount(assignment, minlength=k)
-    for cluster in np.flatnonzero(counts == 0):
-        diffs = mu - centers[assignment]
-        dist = np.einsum("ij,ij->i", diffs, diffs)
-        victim = int(np.argmax(dist))
+    moves = repair_empty_clusters(assignment, mu, centers, k)
+    for cluster, victim in moves:
         centers[cluster] = mu[victim]
-        assignment[victim] = cluster
-        counts = np.bincount(assignment, minlength=k)
     return centers, assignment
 
 

@@ -22,7 +22,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro._typing import IntArray, PointMetric, SeedLike
+from repro._typing import PointMetric, SeedLike
+from repro.clustering._repair import repair_empty_clusters
+from repro.clustering._sampling import SampleCacheMixin
 from repro.clustering.base import (
     ClusteringResult,
     UncertainClusterer,
@@ -36,7 +38,7 @@ from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
 
 
-class BasicUKMeans(UncertainClusterer):
+class BasicUKMeans(SampleCacheMixin, UncertainClusterer):
     """The original sample-integration UK-means of Chau et al. [4].
 
     Parameters
@@ -95,7 +97,7 @@ class BasicUKMeans(UncertainClusterer):
                 distances = self._expected_distances(samples, centers)
                 ed_evaluations += n * k
                 new_assignment = np.argmin(distances, axis=1).astype(np.int64)
-                self._repair_empty(new_assignment, distances, k)
+                repair_empty_clusters(new_assignment, sample_means, centers, k)
                 if np.array_equal(new_assignment, assignment):
                     converged = True
                     break
@@ -122,16 +124,6 @@ class BasicUKMeans(UncertainClusterer):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _draw_samples(
-        self, dataset: UncertainDataset, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Per-object sample tensor, shape ``(n, S, m)``."""
-        n = len(dataset)
-        out = np.empty((n, self.n_samples, dataset.dim))
-        for idx, obj in enumerate(dataset):
-            out[idx] = obj.sample(self.n_samples, rng)
-        return out
-
     def _expected_distances(
         self, samples: np.ndarray, centers: np.ndarray
     ) -> np.ndarray:
@@ -155,12 +147,3 @@ class BasicUKMeans(UncertainClusterer):
             out[:, j] = np.einsum("nsm,nsm->ns", diff, diff).mean(axis=1)
         return out
 
-    @staticmethod
-    def _repair_empty(assignment: IntArray, distances: np.ndarray, k: int) -> None:
-        """Move the worst-assigned object into each empty cluster."""
-        counts = np.bincount(assignment, minlength=k)
-        for cluster in np.flatnonzero(counts == 0):
-            own_dist = distances[np.arange(assignment.size), assignment]
-            victim = int(np.argmax(own_dist))
-            assignment[victim] = cluster
-            counts = np.bincount(assignment, minlength=k)

@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro._typing import IntArray, SeedLike
+from repro._typing import SeedLike
 from repro.clustering.base import (
     ClusteringResult,
     UncertainClusterer,

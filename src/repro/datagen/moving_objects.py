@@ -16,7 +16,6 @@ heterogeneous — the regime the U-centroid was designed for.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -22,7 +22,7 @@ Both datasets derive from the *same* per-point pdfs, which is what makes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,0 +1,11 @@
+"""Batch execution engine: orchestration above the single algorithms.
+
+The clustering modules implement one run of one algorithm; this
+subpackage implements how production workloads actually invoke them —
+many random restarts over a shared precomputed moment/sample cache,
+sequentially or process-parallel, keeping the best result by objective.
+"""
+
+from repro.engine.runner import MultiRestartRunner, RestartRecord
+
+__all__ = ["MultiRestartRunner", "RestartRecord"]

@@ -1,0 +1,225 @@
+"""Multi-restart execution of any :class:`UncertainClusterer`.
+
+K-means-style objectives are non-convex, so production deployments run
+``n_init`` random restarts and keep the best local optimum — sklearn's
+``n_init`` idiom lifted to uncertain clustering.  The runner factors the
+expensive, restart-invariant work out of the loop:
+
+* the **moment cache** is already shared for free — every restart reads
+  the same :class:`~repro.objects.dataset.UncertainDataset`, whose
+  stacked moment matrices are computed once at construction;
+* the **sample cache** is drawn once via
+  :meth:`UncertainDataset.sample_tensor` and injected into sample-based
+  algorithms (those exposing ``n_samples``/``sample_cache``), so ``S``
+  Monte-Carlo draws per object happen once instead of once per restart.
+
+Restarts are independent, so with ``n_jobs > 1`` they execute in a
+``concurrent.futures`` process pool; per-restart seeds are spawned up
+front from one seed sequence, making results identical for sequential
+and parallel execution.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.clustering.base import ClusteringResult, UncertainClusterer
+from repro.exceptions import InvalidParameterError
+from repro.objects.dataset import UncertainDataset
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """Summary of one restart, kept in the winner's ``extras``."""
+
+    restart: int
+    seed: int
+    objective: float
+    n_iterations: int
+    converged: bool
+    runtime_seconds: float
+
+
+def _spawn_seeds(seed: SeedLike, count: int) -> List[int]:
+    """Derive ``count`` independent integer seeds from any seed form."""
+    if isinstance(seed, np.random.Generator):
+        return [int(s) for s in seed.integers(0, 2**63 - 1, size=count)]
+    sequence = np.random.SeedSequence(seed)
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+        for child in sequence.spawn(count)
+    ]
+
+
+def _fit_one(
+    clusterer: UncertainClusterer, dataset: UncertainDataset, seed: int
+) -> ClusteringResult:
+    """Sequential-path entry point: one restart."""
+    return clusterer.fit(dataset, seed=seed)
+
+
+# Worker-process state: the clusterer (with any shared sample cache) and
+# the dataset are pickled once per worker via the pool initializer, not
+# once per restart — the sample tensor can be large.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(clusterer: UncertainClusterer, dataset: UncertainDataset) -> None:
+    _WORKER_STATE["clusterer"] = clusterer
+    _WORKER_STATE["dataset"] = dataset
+
+
+def _fit_in_worker(seed: int) -> ClusteringResult:
+    return _WORKER_STATE["clusterer"].fit(_WORKER_STATE["dataset"], seed=seed)
+
+
+class MultiRestartRunner:
+    """Best-of-``n_init`` execution of a configured clusterer.
+
+    Parameters
+    ----------
+    clusterer:
+        Any :class:`UncertainClusterer`; reused as-is for every restart.
+    n_init:
+        Number of random restarts (each gets an independent seed).
+    n_jobs:
+        1 runs restarts sequentially in-process; larger values use a
+        process pool with that many workers (restarts stay seeded
+        identically, so the result does not depend on ``n_jobs``).
+    share_samples:
+        Draw one :meth:`UncertainDataset.sample_tensor` and share it
+        across restarts when the algorithm is sample-based.  Restarts
+        then differ only in initialization, mirroring how the paper
+        fixes the sample sets while varying seeds.
+    """
+
+    def __init__(
+        self,
+        clusterer: UncertainClusterer,
+        n_init: int = 10,
+        n_jobs: int = 1,
+        share_samples: bool = True,
+    ):
+        if n_init < 1:
+            raise InvalidParameterError(f"n_init must be >= 1, got {n_init}")
+        if n_jobs < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        if n_init > 1 and not getattr(clusterer, "has_objective", True):
+            warnings.warn(
+                f"{type(clusterer).__name__} produces no objective; "
+                f"restarts cannot be ranked and best-of-{n_init} will "
+                "return the first restart at n_init times the cost",
+                UserWarning,
+                stacklevel=2,
+            )
+        self.clusterer = clusterer
+        self.n_init = int(n_init)
+        self.n_jobs = int(n_jobs)
+        self.share_samples = bool(share_samples)
+
+    # ------------------------------------------------------------------
+    def run(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
+        """Run every restart and return the best-objective result.
+
+        The winner's ``extras`` gain ``n_init``, ``best_restart``,
+        ``engine_jobs``, ``shared_samples`` and ``restart_history`` (one
+        dict per restart); its ``objective_history`` is preserved from
+        the winning run.  Lower objective wins; NaN objectives (methods
+        without one) lose to any finite objective and fall back to the
+        first restart.
+        """
+        seeds = _spawn_seeds(seed, self.n_init + 1)
+        sample_seed, restart_seeds = seeds[0], seeds[1:]
+        pinned = getattr(self.clusterer, "sample_cache", None)
+        if pinned is not None:
+            # The caller already fixed the sample tensor; every restart
+            # reads it as-is, so there is nothing to draw or restore.
+            cache = None
+        else:
+            cache = self._build_sample_cache(dataset, sample_seed)
+            if cache is not None:
+                self.clusterer.sample_cache = cache
+        try:
+            results = self._execute(dataset, restart_seeds)
+        finally:
+            if cache is not None:
+                self.clusterer.sample_cache = None
+        shared = pinned is not None or cache is not None
+        return self._select_best(results, restart_seeds, shared)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_sample_cache(
+        self, dataset: UncertainDataset, seed: int
+    ) -> Optional[np.ndarray]:
+        """The shared ``(n, S, m)`` tensor, or None when inapplicable."""
+        if not self.share_samples:
+            return None
+        n_samples = getattr(self.clusterer, "n_samples", None)
+        if n_samples is None or not hasattr(self.clusterer, "sample_cache"):
+            return None
+        return dataset.sample_tensor(int(n_samples), seed)
+
+    def _execute(
+        self, dataset: UncertainDataset, restart_seeds: Sequence[int]
+    ) -> List[ClusteringResult]:
+        if self.n_jobs == 1 or self.n_init == 1:
+            return [
+                _fit_one(self.clusterer, dataset, s) for s in restart_seeds
+            ]
+        workers = min(self.n_jobs, self.n_init)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.clusterer, dataset),
+        ) as pool:
+            return list(pool.map(_fit_in_worker, restart_seeds))
+
+    def _select_best(
+        self,
+        results: List[ClusteringResult],
+        restart_seeds: Sequence[int],
+        shared: bool,
+    ) -> ClusteringResult:
+        objectives = np.array([r.objective for r in results], dtype=np.float64)
+        comparable = np.where(np.isnan(objectives), np.inf, objectives)
+        best_idx = int(np.argmin(comparable)) if np.isfinite(comparable).any() else 0
+        best = results[best_idx]
+        history = [
+            RestartRecord(
+                restart=i,
+                seed=int(restart_seeds[i]),
+                objective=float(r.objective),
+                n_iterations=r.n_iterations,
+                converged=r.converged,
+                runtime_seconds=r.runtime_seconds,
+            )
+            for i, r in enumerate(results)
+        ]
+        extras = dict(best.extras)
+        extras.update(
+            n_init=self.n_init,
+            best_restart=best_idx,
+            engine_jobs=self.n_jobs,
+            shared_samples=shared,
+            restart_history=[asdict(record) for record in history],
+            total_runtime_seconds=float(
+                sum(r.runtime_seconds for r in results)
+            ),
+        )
+        return ClusteringResult(
+            labels=best.labels,
+            objective=best.objective,
+            n_iterations=best.n_iterations,
+            converged=best.converged,
+            runtime_seconds=best.runtime_seconds,
+            objective_history=list(best.objective_history),
+            extras=extras,
+        )

@@ -14,8 +14,8 @@ Defaults here run paper-*shaped* experiments at laptop scale; pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.clustering import (
     FDBSCAN,

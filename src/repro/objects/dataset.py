@@ -44,6 +44,7 @@ class UncertainDataset:
         "_sigma2",
         "_total_var",
         "_labels",
+        "_sampling_plan",
     )
 
     def __init__(self, objects: Sequence[UncertainObject]):
@@ -68,6 +69,7 @@ class UncertainDataset:
             self._labels.setflags(write=False)
         else:
             self._labels = None
+        self._sampling_plan = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -136,6 +138,29 @@ class UncertainDataset:
         if self._labels is None:
             return None
         return int(np.unique(self._labels).size)
+
+    # ------------------------------------------------------------------
+    # Batched sampling
+    # ------------------------------------------------------------------
+    def sample_tensor(self, n_samples: int, seed=None) -> FloatArray:
+        """One ``(n, S, m)`` realization tensor for the whole dataset.
+
+        This is the vectorized off-line phase of the sample-based
+        algorithms: marginal cells are grouped by distribution family
+        and drawn with one quantile transform per family (see
+        :mod:`repro.uncertainty.batch`) instead of ``n`` Python-level
+        ``sample`` calls.  The grouping plan is compiled lazily on
+        first use and cached (the dataset is immutable), so repeated
+        draws — multi-restart runs, per-seed experiments — pay only the
+        vectorized transforms.  Deterministic for a fixed ``seed``.
+        """
+        from repro.uncertainty.batch import build_sampling_plan
+
+        if self._sampling_plan is None:
+            self._sampling_plan = build_sampling_plan(
+                [obj.distribution for obj in self._objects]
+            )
+        return self._sampling_plan.sample(n_samples, seed)
 
     # ------------------------------------------------------------------
     # Derived datasets

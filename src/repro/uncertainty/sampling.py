@@ -15,13 +15,14 @@ the stand-in substrate:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro._typing import FloatArray, SeedLike, VectorLike
 from repro.exceptions import InvalidParameterError
 from repro.uncertainty.base import MultivariateDistribution
+from repro.uncertainty.batch import sample_tensor
 from repro.uncertainty.region import BoxRegion
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, ensure_vector
@@ -47,6 +48,20 @@ class MonteCarloSampler:
     def draw_one(self, dist: MultivariateDistribution) -> FloatArray:
         """Draw a single sample, shape ``(m,)``."""
         return self.draw(dist, 1)[0]
+
+    def draw_many(
+        self, dists: Sequence[MultivariateDistribution], size: int
+    ) -> FloatArray:
+        """Batched draws for a whole collection, shape ``(n, size, m)``.
+
+        Delegates to the family-grouped tensor sampler
+        (:func:`repro.uncertainty.batch.sample_tensor`) so the cost is a
+        handful of vectorized quantile transforms rather than ``n``
+        per-object sampling calls.
+        """
+        if size <= 0:
+            raise InvalidParameterError(f"size must be > 0, got {size}")
+        return sample_tensor(dists, size, self._rng)
 
 
 @dataclass

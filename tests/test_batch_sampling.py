@@ -1,0 +1,231 @@
+"""Tests for the family-grouped batch sampler (repro.uncertainty.batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_blobs_uncertain
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.objects import UncertainDataset
+from repro.uncertainty import (
+    EmpiricalDistribution,
+    IndependentProduct,
+    MixtureDistribution,
+    TriangularDistribution,
+    TruncatedExponentialDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    batch_families,
+    build_sampling_plan,
+    is_batchable,
+    sample_tensor,
+)
+from repro.uncertainty.batch import _FAMILIES
+from repro.uncertainty.point import MultivariatePointMass, PointMassDistribution
+
+from tests.conftest import random_uncertain_objects
+
+
+def _family_marginals(family, rng, count=7):
+    """A diverse batch of marginals of one family."""
+    out = []
+    for _ in range(count):
+        center = float(rng.normal(0.0, 3.0))
+        scale = float(rng.uniform(0.2, 2.0))
+        if family is UniformDistribution:
+            out.append(UniformDistribution.centered(center, scale))
+        elif family is TruncatedNormalDistribution:
+            out.append(
+                TruncatedNormalDistribution.central_mass(center, scale, 0.95)
+            )
+        elif family is TruncatedExponentialDistribution:
+            direction = 1 if rng.random() < 0.5 else -1
+            out.append(
+                TruncatedExponentialDistribution.with_mean(
+                    center, 1.0 / scale, direction=direction, mass=0.95
+                )
+            )
+        elif family is TriangularDistribution:
+            out.append(TriangularDistribution.symmetric(center, scale))
+        elif family is PointMassDistribution:
+            out.append(PointMassDistribution(center))
+        else:  # pragma: no cover - keep the parametrization honest
+            raise AssertionError(f"unhandled family {family}")
+    return out
+
+
+class TestFamilyEquivalence:
+    """Batched quantile transforms must match the scalar ppf exactly."""
+
+    @pytest.mark.parametrize(
+        "family", list(batch_families()), ids=lambda f: f.__name__
+    )
+    def test_batch_matches_per_marginal_ppf(self, family, rng):
+        marginals = _family_marginals(family, rng)
+        q = rng.random((len(marginals), 33))
+        stack, apply = _FAMILIES[family]
+        batched = apply(q, *stack(marginals))
+        for i, marginal in enumerate(marginals):
+            np.testing.assert_array_equal(
+                batched[i],
+                marginal.ppf(q[i]),
+                err_msg=f"{family.__name__} marginal {i} diverged",
+            )
+
+    @pytest.mark.parametrize(
+        "family", list(batch_families()), ids=lambda f: f.__name__
+    )
+    def test_degenerate_quantiles(self, family, rng):
+        """Endpoints q=0 and q=1 go through the same clips as the ppf."""
+        marginals = _family_marginals(family, rng, count=3)
+        q = np.tile(np.array([0.0, 0.5, 1.0]), (len(marginals), 1))
+        stack, apply = _FAMILIES[family]
+        batched = apply(q, *stack(marginals))
+        for i, marginal in enumerate(marginals):
+            np.testing.assert_array_equal(batched[i], marginal.ppf(q[i]))
+
+    def test_triangular_degenerate_sides(self):
+        """mode == lower / mode == upper collapse like the scalar ppf."""
+        marginals = [
+            TriangularDistribution(0.0, 0.0, 2.0),
+            TriangularDistribution(-1.0, 1.0, 1.0),
+        ]
+        q = np.tile(np.linspace(0.0, 1.0, 9), (2, 1))
+        stack, apply = _FAMILIES[TriangularDistribution]
+        batched = apply(q, *stack(marginals))
+        for i, marginal in enumerate(marginals):
+            np.testing.assert_array_equal(batched[i], marginal.ppf(q[i]))
+
+
+class TestSampleTensor:
+    def test_deterministic_under_fixed_seed(self, mixed_dataset):
+        first = mixed_dataset.sample_tensor(12, seed=99)
+        second = mixed_dataset.sample_tensor(12, seed=99)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self, blob_dataset):
+        a = blob_dataset.sample_tensor(8, seed=0)
+        b = blob_dataset.sample_tensor(8, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_shape(self, mixed_dataset):
+        tensor = mixed_dataset.sample_tensor(5, seed=0)
+        assert tensor.shape == (len(mixed_dataset), 5, mixed_dataset.dim)
+
+    def test_samples_land_in_regions(self, mixed_dataset):
+        tensor = mixed_dataset.sample_tensor(64, seed=3)
+        for idx, obj in enumerate(mixed_dataset):
+            lower = obj.region.lower - 1e-12
+            upper = obj.region.upper + 1e-12
+            assert np.all(tensor[idx] >= lower)
+            assert np.all(tensor[idx] <= upper)
+
+    def test_sample_means_approach_moments(self):
+        data = make_blobs_uncertain(n_objects=40, n_clusters=2, seed=5)
+        tensor = data.sample_tensor(4096, seed=7)
+        np.testing.assert_allclose(
+            tensor.mean(axis=1), data.mu_matrix, atol=0.1
+        )
+
+    def test_point_mass_objects_are_constant(self):
+        data = UncertainDataset.from_points(np.array([[1.0, -2.0], [0.5, 3.0]]))
+        tensor = data.sample_tensor(6, seed=0)
+        np.testing.assert_array_equal(
+            tensor, np.repeat(data.mu_matrix[:, None, :], 6, axis=1)
+        )
+
+    def test_fallback_families_sampled(self, rng):
+        """Empirical/mixture objects take the per-object fallback path."""
+        empirical = EmpiricalDistribution(rng.normal(0.0, 1.0, size=(50, 2)))
+        mixture = MixtureDistribution(
+            [
+                MultivariatePointMass([0.0, 0.0]),
+                MultivariatePointMass([1.0, 1.0]),
+            ]
+        )
+        uniform = IndependentProduct(
+            [UniformDistribution(0.0, 1.0), UniformDistribution(2.0, 3.0)]
+        )
+        plan = build_sampling_plan([empirical, mixture, uniform])
+        assert plan.n_fallback == 2
+        assert plan.n_batched_cells == 2
+        tensor = plan.sample(16, seed=4)
+        assert tensor.shape == (3, 16, 2)
+        assert np.all(tensor[2, :, 0] <= 1.0)
+        assert np.all(tensor[2, :, 1] >= 2.0)
+
+    def test_mixed_family_objects_batch(self, mixed_dataset):
+        """Objects mixing families per dimension still use the fast path."""
+        plan = build_sampling_plan(
+            [obj.distribution for obj in mixed_dataset]
+        )
+        # Every object in the fixture is a product of registered
+        # families or a point mass: nothing falls back.
+        assert plan.n_fallback == 0
+
+    def test_equivalence_with_per_object_distribution(self, rng):
+        """Batch tensor rows are draws from each object's distribution.
+
+        Statistical check per object: compare batched sample moments
+        with the object's analytic moments.
+        """
+        objects = random_uncertain_objects(rng, n=12, dim=3)
+        tensor = sample_tensor(
+            [o.distribution for o in objects], 2048, seed=11
+        )
+        for i, obj in enumerate(objects):
+            np.testing.assert_allclose(
+                tensor[i].mean(axis=0), obj.mu, atol=0.15
+            )
+            np.testing.assert_allclose(
+                tensor[i].var(axis=0), obj.sigma2, atol=0.3
+            )
+
+    def test_validation(self, blob_dataset):
+        with pytest.raises(InvalidParameterError):
+            sample_tensor([], 4)
+        with pytest.raises(InvalidParameterError):
+            blob_dataset.sample_tensor(0)
+        with pytest.raises(DimensionMismatchError):
+            sample_tensor(
+                [
+                    MultivariatePointMass([0.0, 1.0]),
+                    MultivariatePointMass([0.0, 1.0, 2.0]),
+                ],
+                4,
+            )
+
+    def test_is_batchable(self, rng):
+        assert is_batchable(MultivariatePointMass([1.0]))
+        assert is_batchable(
+            IndependentProduct([UniformDistribution(0.0, 1.0)])
+        )
+        assert not is_batchable(
+            EmpiricalDistribution(rng.normal(size=(10, 2)))
+        )
+
+    def test_generator_seed_shares_stream(self, blob_dataset):
+        """Passing a Generator consumes it (two calls differ)."""
+        gen = np.random.default_rng(0)
+        a = blob_dataset.sample_tensor(4, seed=gen)
+        b = blob_dataset.sample_tensor(4, seed=gen)
+        assert not np.array_equal(a, b)
+
+
+class TestMonteCarloDrawMany:
+    def test_matches_sample_tensor(self, mixed_dataset):
+        from repro.uncertainty import MonteCarloSampler
+
+        dists = [obj.distribution for obj in mixed_dataset]
+        batched = MonteCarloSampler(seed=21).draw_many(dists, 10)
+        direct = sample_tensor(dists, 10, seed=21)
+        np.testing.assert_array_equal(batched, direct)
+
+    def test_size_validation(self, mixed_dataset):
+        from repro.uncertainty import MonteCarloSampler
+
+        with pytest.raises(InvalidParameterError):
+            MonteCarloSampler(seed=0).draw_many(
+                [mixed_dataset[0].distribution], 0
+            )

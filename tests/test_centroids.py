@@ -10,7 +10,7 @@ from tests.conftest import random_uncertain_objects
 from repro.centroids import MixtureModelCentroid, UCentroid, ukmeans_centroid
 from repro.centroids.deterministic import ukmeans_centroids_from_assignment
 from repro.exceptions import EmptyClusterError, InvalidParameterError
-from repro.objects import UncertainDataset, UncertainObject
+from repro.objects import UncertainObject
 
 
 class TestUKMeansCentroid:

@@ -7,11 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from tests.conftest import random_uncertain_objects
 
 from repro.clustering import ClusterStats, ClusterStatsMatrix, j_ucpc
 from repro.exceptions import EmptyClusterError, InvalidParameterError
-from repro.objects import UncertainDataset, UncertainObject
+from repro.objects import UncertainObject
 
 
 class TestClusterStats:

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    ACCURACY_ROSTER,
     ExperimentConfig,
     build_algorithm,
     run_figure4,

@@ -14,7 +14,6 @@ from repro.evaluation import clustering_stability, f_measure
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.objects import UncertainDataset, UncertainObject, UncertainStandardizer
 from repro.uncertainty import (
-    IndependentProduct,
     TriangularDistribution,
     quadrature_mass,
     quadrature_moments,

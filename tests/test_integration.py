@@ -16,7 +16,7 @@ from repro import (
     make_benchmark,
     make_microarray,
 )
-from repro.clustering import ClusterStatsMatrix, j_ucpc
+from repro.clustering import j_ucpc
 from repro.experiments.reporting import (
     PaperArtifacts,
     render_markdown,

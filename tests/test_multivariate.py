@@ -12,7 +12,6 @@ from repro.uncertainty import (
     IndependentProduct,
     MixtureDistribution,
     MultivariatePointMass,
-    TruncatedExponentialDistribution,
     TruncatedNormalDistribution,
     UniformDistribution,
     monte_carlo_moments,

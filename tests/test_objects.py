@@ -11,7 +11,6 @@ from repro.exceptions import (
     InvalidParameterError,
 )
 from repro.objects import UncertainDataset, UncertainObject, objects_dim
-from repro.uncertainty import IndependentProduct, UniformDistribution
 
 
 class TestUncertainObject:

@@ -44,8 +44,6 @@ class TestEvaluateTheta:
         assert a.theta == pytest.approx(b.theta)
 
     def test_requires_labels(self):
-        from repro.datagen.uncertainty_gen import UncertainDataPair
-
         points, _ = make_classification_like(20, 2, 2, seed=0)
         gen = UncertaintyGenerator()
         unlabeled = gen.generate(points, seed=0)

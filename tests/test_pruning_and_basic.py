@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.clustering import BasicUKMeans, MinMaxBB, UKMeans, VDBiP
+from repro.clustering._repair import repair_empty_clusters
 from repro.clustering.pruning import _PruningUKMeansBase
 from repro.datagen import make_blobs_uncertain
 from repro.evaluation import f_measure
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import ConvergenceWarning, InvalidParameterError
+from repro.objects import UncertainDataset, UncertainObject
 
 
 @pytest.fixture(scope="module")
@@ -131,3 +135,116 @@ class TestCandidateMasks:
             Dummy(n_clusters=2)._candidate_mask(
                 np.zeros((1, 1)), np.ones((1, 1)), np.zeros((2, 1))
             )
+
+
+class TestLosslessPruningRegression:
+    """Pruning must reproduce the basic UK-means assignments *exactly*.
+
+    Regression for the cluster-shift staleness bug: the shift bound used
+    only the last iteration's centroid displacement against EDs cached
+    several iterations earlier, producing invalid lower bounds that
+    could prune the true nearest centroid.
+    """
+
+    @pytest.mark.parametrize("cls", [MinMaxBB, VDBiP], ids=["MinMaxBB", "VDBiP"])
+    @pytest.mark.parametrize("cluster_shift", [True, False], ids=["shift", "noshift"])
+    def test_exact_assignment_match_across_seeds(self, cls, cluster_shift):
+        data = make_blobs_uncertain(
+            n_objects=80, n_clusters=4, separation=2.0, seed=23
+        )
+        for seed in range(20):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", ConvergenceWarning)
+                basic = BasicUKMeans(n_clusters=4, n_samples=24).fit(
+                    data, seed=seed
+                )
+                pruned = cls(
+                    n_clusters=4, n_samples=24, cluster_shift=cluster_shift
+                ).fit(data, seed=seed)
+            np.testing.assert_array_equal(
+                basic.labels,
+                pruned.labels,
+                err_msg=f"{cls.__name__} diverged from bUKM at seed {seed}",
+            )
+            assert pruned.objective == pytest.approx(basic.objective)
+
+
+class TestEmptyClusterRepair:
+    """The shared repair helper must not cascade new empty clusters."""
+
+    def test_sole_member_victim_excluded(self):
+        # Cluster 2 is empty and the object farthest from its centroid
+        # (index 2, distance 10) is the *sole* member of cluster 1:
+        # moving it — as the old argmax-only repair did — would merely
+        # relocate the emptiness.  The helper must pick a cluster-0
+        # object instead.
+        points = np.array([[0.0], [0.1], [100.0]])
+        centers = np.array([[0.05], [90.0], [50.0]])
+        assignment = np.array([0, 0, 1], dtype=np.int64)
+        moves = repair_empty_clusters(assignment, points, centers, k=3)
+        counts = np.bincount(assignment, minlength=3)
+        assert np.all(counts > 0), f"repair left empties: {counts}"
+        assert assignment[2] == 1, "sole member was moved"
+        assert moves and moves[0][0] == 2
+
+    def test_cascade_is_refilled(self):
+        # Two empty clusters and one far-away pair: naive repair that
+        # iterates a stale empty list can end with an empty cluster.
+        points = np.array([[0.0], [0.2], [10.0], [10.2]])
+        centers = np.array([[0.1], [10.1], [5.0], [7.0]])
+        assignment = np.array([0, 0, 1, 1], dtype=np.int64)
+        repair_empty_clusters(assignment, points, centers, k=4)
+        counts = np.bincount(assignment, minlength=4)
+        assert np.all(counts > 0), f"repair left empties: {counts}"
+
+    @pytest.mark.parametrize("cls", [MinMaxBB, VDBiP, BasicUKMeans])
+    def test_k_near_n_adversarial(self, cls):
+        """k close to n forces repeated repairs; every cluster survives."""
+        rng = np.random.default_rng(5)
+        # Tight groups of duplicate-ish points make many centroids
+        # collapse onto the same optimum, forcing empty clusters.
+        base = rng.normal(0.0, 0.05, size=(12, 2))
+        points = np.vstack([base, base[:3]])
+        objects = [
+            UncertainObject.uniform_box(p, [0.01, 0.01], label=0)
+            for p in points
+        ]
+        data = UncertainDataset(objects)
+        k = len(data) - 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            result = cls(n_clusters=k, n_samples=8, max_iter=30).fit(
+                data, seed=1
+            )
+        counts = np.bincount(result.labels, minlength=k)
+        assert np.all(counts > 0), f"{cls.__name__} left empties: {counts}"
+
+    def test_k_equals_n(self):
+        """Extreme case: every object must end up alone in a cluster."""
+        data = make_blobs_uncertain(n_objects=10, n_clusters=2, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            result = MinMaxBB(n_clusters=10, n_samples=4, max_iter=20).fit(
+                data, seed=3
+            )
+        counts = np.bincount(result.labels, minlength=10)
+        assert np.all(counts == 1)
+
+
+class TestSampleCache:
+    @pytest.mark.parametrize("cls", [MinMaxBB, VDBiP, BasicUKMeans])
+    def test_cache_shape_validated(self, cls, data):
+        algo = cls(n_clusters=3, n_samples=8)
+        algo.sample_cache = np.zeros((2, 8, 2))
+        with pytest.raises(InvalidParameterError):
+            algo.fit(data, seed=0)
+
+    def test_cache_used_verbatim(self, data):
+        tensor = data.sample_tensor(8, seed=42)
+        algo = BasicUKMeans(n_clusters=3, n_samples=8)
+        algo.sample_cache = tensor
+        cached = algo.fit(data, seed=0)
+        algo2 = BasicUKMeans(n_clusters=3, n_samples=8)
+        algo2.sample_cache = tensor.copy()
+        again = algo2.fit(data, seed=0)
+        np.testing.assert_array_equal(cached.labels, again.labels)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.figure4 import Figure4Report
 from repro.experiments.figure5 import Figure5Report
