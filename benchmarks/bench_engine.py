@@ -1,13 +1,16 @@
 """Benchmarks of the batch execution engine.
 
-Pins the two claims the engine layer makes:
+Pins the three claims the engine layer makes:
 
 * :meth:`UncertainDataset.sample_tensor` beats the per-object sampling
   loop it replaced by a wide margin (the off-line phase of every
   sample-based algorithm) — asserted at >= 5x for n=2000, S=64;
 * multi-restart execution amortizes the off-line work: ``n_init``
   restarts through :class:`MultiRestartRunner` with a shared sample
-  cache cost far less than ``n_init`` independent fits.
+  cache cost far less than ``n_init`` independent fits;
+* the ported density clustering (batched sampling + blocked GEMM
+  probability kernel) beats the pre-port per-object FDBSCAN — asserted
+  at >= 3x for n=1000, S=64.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.clustering import BasicUKMeans, MinMaxBB
+from repro.clustering import FDBSCAN, BasicUKMeans, MinMaxBB, auto_eps
 from repro.datagen import make_blobs_uncertain
 from repro.engine import MultiRestartRunner
 from repro.objects import UncertainDataset, UncertainObject
@@ -118,3 +121,79 @@ def test_multi_restart_pruned(benchmark, small_data):
         MinMaxBB(4, n_samples=32), n_init=5, share_samples=True
     )
     benchmark(runner.run, small_data, 0)
+
+
+# ----------------------------------------------------------------------
+# Density clustering: ported FDBSCAN vs the pre-port implementation.
+# ----------------------------------------------------------------------
+DENSITY_N = 1000
+DENSITY_S = 64
+DENSITY_M = 16  # Letter-dataset dimensionality (Table 1-(a))
+
+
+@pytest.fixture(scope="module")
+def density_data():
+    """Paper-shaped workload for the density port (n=1000, S=64, m=16)."""
+    return make_blobs_uncertain(
+        n_objects=DENSITY_N, n_clusters=5, n_attributes=DENSITY_M, seed=7
+    )
+
+
+def _legacy_fdbscan_fit(model, dataset, seed):
+    """The pre-port FDBSCAN: per-object sampling + row-loop estimator."""
+    rng = ensure_rng(seed)
+    eps = model.eps if model.eps is not None else auto_eps(
+        dataset, model.eps_quantile
+    )
+    samples = np.empty((len(dataset), model.n_samples, dataset.dim))
+    for idx, obj in enumerate(dataset):
+        samples[idx] = obj.sample(model.n_samples, rng)
+    n = samples.shape[0]
+    eps_sq = eps * eps
+    probs = np.eye(n)
+    for i in range(n - 1):
+        diff = samples[i + 1 :] - samples[i]
+        within = np.einsum("nsm,nsm->ns", diff, diff) <= eps_sq
+        p = within.mean(axis=1)
+        probs[i, i + 1 :] = p
+        probs[i + 1 :, i] = p
+    expected_neighbors = probs.sum(axis=1)
+    is_core = expected_neighbors >= model.min_pts
+    return FDBSCAN._expand(is_core, probs >= model.reach_prob)
+
+
+def test_density_ported(benchmark, density_data):
+    benchmark.group = "density-clustering"
+    model = FDBSCAN(n_samples=DENSITY_S)
+    benchmark(model.fit, density_data, 0)
+
+
+def test_density_legacy(benchmark, density_data):
+    benchmark.group = "density-clustering"
+    model = FDBSCAN(n_samples=DENSITY_S)
+    benchmark(_legacy_fdbscan_fit, model, density_data, 0)
+
+
+def test_density_speedup_floor(density_data):
+    """Acceptance pin: ported FDBSCAN >= 3x the pre-port path at
+    n=1000, S=64 — and still the exact same labels."""
+    model = FDBSCAN(n_samples=DENSITY_S)
+    ported = model.fit(density_data, seed=0)  # also warms both paths
+    legacy_labels = _legacy_fdbscan_fit(model, density_data, 0)
+    np.testing.assert_array_equal(ported.labels, legacy_labels)
+
+    def best_of(fn, repeats=2):
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    ported_time = best_of(lambda: model.fit(density_data, seed=0))
+    legacy_time = best_of(lambda: _legacy_fdbscan_fit(model, density_data, 0))
+    speedup = legacy_time / ported_time
+    assert speedup >= 3.0, (
+        f"density port speedup {speedup:.1f}x below the 3x floor "
+        f"(ported {ported_time * 1e3:.0f} ms, legacy {legacy_time * 1e3:.0f} ms)"
+    )

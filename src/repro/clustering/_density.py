@@ -1,0 +1,148 @@
+"""Blocked pairwise kernels for the density-based algorithms.
+
+FDBSCAN and FOPTICS both reduce the uncertainty between two objects to
+statistics of the *matched-pair sampled distances* ``d_ij,s =
+||x_i,s - x_j,s||`` over an ``(n, S, m)`` realization tensor:
+
+* FDBSCAN needs ``Pr(d_ij <= eps)`` — the fraction of sample pairs
+  within ``eps`` (:func:`pairwise_within_eps_probabilities`);
+* FOPTICS needs ``E[d_ij]`` — the mean sampled distance
+  (:func:`expected_distance_matrix`).
+
+Both are Theta(n^2 * S * m) and were previously computed one object row
+at a time (``n`` Python iterations, each materializing an
+``(n - i, S, m)`` difference tensor).  This module computes them in
+column blocks whose temporaries are bounded by
+:data:`DENSITY_BLOCK_ELEMENTS` (the memory knob) or pinned explicitly
+per call — with two deliberately different inner kernels:
+
+* the *probability* kernel expands ``d^2 = |x|^2 + |y|^2 - 2 x.y`` so
+  the cross terms run as ``S`` batched GEMMs.  The expansion is
+  algebraically identical to differencing but not bit-identical (a few
+  ulps); FDBSCAN only ever *thresholds* ``d^2`` against ``eps^2``, so
+  its discrete output absorbs that, which the 20-seed label-equivalence
+  regression (``tests/test_density_equivalence.py``) pins.
+* the *expected-distance* kernel keeps the difference-based summation,
+  vectorized over column blocks, because FOPTICS consumes the
+  *continuous* values: its ordering loop breaks near-ties by float
+  comparison, so the kernel must be bit-identical to the row loop it
+  replaced (also regression-pinned).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.exceptions import InvalidParameterError
+
+#: Memory knob: target element count of the largest temporary a blocked
+#: kernel materializes (an ``(S, R, B)`` squared-distance block for the
+#: probability kernel, an ``(R, B, S, m)`` difference block for the
+#: expected-distance kernel).  The default, 2**22 doubles, keeps each
+#: temporary around 32 MB; lower it for memory-constrained deployments,
+#: raise it to trade memory for fewer Python-level block iterations at
+#: very large ``n * S``.
+DENSITY_BLOCK_ELEMENTS: int = 2**22
+
+
+def _block_width(per_column: int, n: int, block: Optional[int]) -> int:
+    """Column-block width from an explicit pin or the global budget.
+
+    ``per_column`` is the temporary's element count per block column.
+    """
+    if block is not None:
+        if block < 1:
+            raise InvalidParameterError(f"block must be >= 1, got {block}")
+        return min(int(block), n)
+    auto = DENSITY_BLOCK_ELEMENTS // max(1, per_column)
+    return max(1, min(n, int(auto)))
+
+
+def pairwise_within_eps_probabilities(
+    samples: FloatArray, eps: float, block: Optional[int] = None
+) -> FloatArray:
+    """``(n, n)`` matrix of ``Pr(||X_i - X_j|| <= eps)`` estimates.
+
+    ``samples`` has shape ``(n, S, m)``; the estimate for a pair is the
+    fraction of the ``S`` matched sample pairs within ``eps`` (an
+    unbiased MC estimator of the double integral).  The diagonal is
+    fixed at 1.  ``block`` overrides the automatic memory-bounded
+    column-block width (see :data:`DENSITY_BLOCK_ELEMENTS`).
+    """
+    n, n_samples, _ = samples.shape
+    eps_sq = eps * eps
+    width = _block_width(n * n_samples, n, block)
+    # (S, n, m) views: one GEMM per sample index inside each np.matmul.
+    by_sample = np.ascontiguousarray(samples.swapaxes(0, 1))
+    by_sample_t = np.ascontiguousarray(by_sample.transpose(0, 2, 1))
+    sq_norms = np.einsum("snm,snm->sn", by_sample, by_sample)
+    probs = np.empty((n, n))
+
+    def block_probabilities(row0: int, row1: int, col0: int, col1: int):
+        d2 = by_sample[:, row0:row1, :] @ by_sample_t[:, :, col0:col1]
+        d2 *= -2.0
+        d2 += sq_norms[:, row0:row1, None]
+        d2 += sq_norms[:, None, col0:col1]
+        return np.count_nonzero(d2 <= eps_sq, axis=0) / n_samples
+
+    for i0 in range(0, n, width):
+        i1 = min(i0 + width, n)
+        # Diagonal block: computed whole (B is small), then the upper
+        # triangle is mirrored from the lower one — the squared-norm
+        # assembly adds sq_i and sq_j in row-major order, so (i, j) and
+        # (j, i) can differ by an ulp and the reachability graph must
+        # stay exactly symmetric (as the mirrored legacy row loop
+        # guaranteed).
+        p = block_probabilities(i0, i1, i0, i1)
+        lower = np.tril_indices(i1 - i0, k=-1)
+        p.T[lower] = p[lower]
+        probs[i0:i1, i0:i1] = p
+        # Remaining rows below the block, mirrored.
+        if i1 < n:
+            p = block_probabilities(i1, n, i0, i1)
+            probs[i1:, i0:i1] = p
+            probs[i0:i1, i1:] = p.T
+    np.fill_diagonal(probs, 1.0)
+    return probs
+
+
+def expected_distance_matrix(
+    samples: FloatArray, block: Optional[int] = None
+) -> FloatArray:
+    """``(n, n)`` Monte-Carlo expected Euclidean distances between objects.
+
+    Entry ``(i, j)`` is the mean of the ``S`` matched-pair distances;
+    the diagonal is 0.  Bit-identical to the per-row difference loop for
+    every block width — FOPTICS's ordering loop compares these values
+    directly, so the kernel must never perturb a near-tie.  ``block``
+    overrides the automatic memory-bounded column-block width (see
+    :data:`DENSITY_BLOCK_ELEMENTS`).
+    """
+    n, n_samples, m = samples.shape
+    width = _block_width(n * n_samples * m, n, block)
+    out = np.empty((n, n))
+
+    def fill(rows: FloatArray, columns: FloatArray) -> FloatArray:
+        diff = rows[:, None] - columns[None]
+        return np.sqrt(
+            np.einsum("rbsm,rbsm->rbs", diff, diff)
+        ).mean(axis=2)
+
+    # Rows are chunked too, so the difference temporary really is
+    # bounded by the budget (column blocking alone would still
+    # materialize all remaining rows against each column block).
+    row_chunk = max(1, width)
+    for i0 in range(0, n, width):
+        i1 = min(i0 + width, n)
+        columns = samples[i0:i1]
+        out[i0:i1, i0:i1] = fill(columns, columns)
+        for r0 in range(i1, n, row_chunk):
+            r1 = min(r0 + row_chunk, n)
+            dist = fill(samples[r0:r1], columns)
+            out[r0:r1, i0:i1] = dist
+            out[i0:i1, r0:r1] = dist.T
+    np.fill_diagonal(out, 0.0)
+    return out

@@ -32,6 +32,15 @@ class SampleCacheMixin:
     #: runs; ``None`` means draw fresh samples per fit.
     sample_cache: Optional[np.ndarray] = None
 
+    #: True when the Monte-Carlo draw is the algorithm's *only* source
+    #: of randomness (FDBSCAN, FOPTICS): given the tensor, the fit is
+    #: deterministic.  Multi-run *measurement* harnesses (the
+    #: experiment runners via :func:`repro.engine.fit_runs`) use this to
+    #: keep per-run draws independent — sharing one tensor would
+    #: collapse every run to one realization — while restart-style
+    #: best-of runs may still share explicitly.
+    sample_randomness_only: bool = False
+
     def _draw_samples(
         self, dataset: UncertainDataset, rng: np.random.Generator
     ) -> np.ndarray:

@@ -15,7 +15,11 @@ treating the distance between two objects as a random variable:
 
 Objects reachable from no core object are labeled noise (-1).  The
 pairwise probability estimation is Theta(n^2 * S) — FDBSCAN belongs to
-the paper's "slower" group in Figure 4 for exactly this reason.
+the paper's "slower" group in Figure 4 for exactly this reason.  The
+off-line phase draws the whole ``(n, S, m)`` realization tensor through
+:meth:`UncertainDataset.sample_tensor` (one vectorized draw per
+distribution family) and the probability matrix is computed in
+memory-bounded column blocks (see :mod:`repro.clustering._density`).
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ from typing import Optional
 import numpy as np
 
 from repro._typing import SeedLike
+from repro.clustering._density import pairwise_within_eps_probabilities
+from repro.clustering._sampling import SampleCacheMixin
 from repro.clustering.base import ClusteringResult, UncertainClusterer
 from repro.exceptions import InvalidParameterError
 from repro.objects.dataset import UncertainDataset
@@ -35,24 +41,16 @@ from repro.utils.validation import check_positive, check_probability
 
 
 def pairwise_reach_probabilities(
-    samples: np.ndarray, eps: float
+    samples: np.ndarray, eps: float, block: Optional[int] = None
 ) -> np.ndarray:
     """``(n, n)`` matrix of ``Pr(||X_i - X_j|| <= eps)`` estimates.
 
     ``samples`` has shape ``(n, S, m)``; the estimate for a pair uses the
     ``S`` matched sample pairs (an unbiased MC estimator of the double
-    integral).  The diagonal is fixed at 1.
+    integral).  The diagonal is fixed at 1.  ``block`` bounds the peak
+    memory of the blocked kernel (auto-derived when ``None``).
     """
-    n, _, _ = samples.shape
-    eps_sq = eps * eps
-    probs = np.eye(n)
-    for i in range(n - 1):
-        diff = samples[i + 1 :] - samples[i]
-        within = np.einsum("nsm,nsm->ns", diff, diff) <= eps_sq
-        p = within.mean(axis=1)
-        probs[i, i + 1 :] = p
-        probs[i + 1 :, i] = p
-    return probs
+    return pairwise_within_eps_probabilities(samples, eps, block=block)
 
 
 def auto_eps(dataset: UncertainDataset, quantile: float = 0.1) -> float:
@@ -80,7 +78,7 @@ def auto_eps(dataset: UncertainDataset, quantile: float = 0.1) -> float:
     return float(np.sqrt(np.quantile(upper, quantile)))
 
 
-class FDBSCAN(UncertainClusterer):
+class FDBSCAN(SampleCacheMixin, UncertainClusterer):
     """Fuzzy DBSCAN over uncertain objects [12].
 
     Parameters
@@ -96,10 +94,17 @@ class FDBSCAN(UncertainClusterer):
         Monte-Carlo samples per object for probability estimation.
     eps_quantile:
         Quantile used by the automatic eps calibration.
+
+    Notes
+    -----
+    As a :class:`SampleCacheMixin` subclass, the off-line sample tensor
+    can be pinned via ``sample_cache`` — the multi-restart engine and
+    the experiment runners use this to draw it exactly once.
     """
 
     name = "FDB"
     has_objective = False
+    sample_randomness_only = True
 
     def __init__(
         self,
@@ -125,16 +130,14 @@ class FDBSCAN(UncertainClusterer):
 
     def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Cluster ``dataset``; noise objects get label -1."""
-        n = len(dataset)
         rng = ensure_rng(seed)
         eps = self.eps if self.eps is not None else auto_eps(
             dataset, self.eps_quantile
         )
 
-        # Off-line: per-object samples for the probability estimates.
-        samples = np.empty((n, self.n_samples, dataset.dim))
-        for idx, obj in enumerate(dataset):
-            samples[idx] = obj.sample(self.n_samples, rng)
+        # Off-line: one batched draw of the whole (n, S, m) tensor
+        # (or the engine-injected shared cache).
+        samples = self._draw_samples(dataset, rng)
 
         watch = Stopwatch()
         with watch.running():

@@ -23,6 +23,8 @@ from typing import Optional
 import numpy as np
 
 from repro._typing import SeedLike
+from repro.clustering import _density
+from repro.clustering._sampling import SampleCacheMixin
 from repro.clustering.base import ClusteringResult, UncertainClusterer
 from repro.exceptions import InvalidParameterError
 from repro.objects.dataset import UncertainDataset
@@ -30,16 +32,16 @@ from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
 
 
-def expected_distance_matrix(samples: np.ndarray) -> np.ndarray:
-    """``(n, n)`` Monte-Carlo expected Euclidean distances between objects."""
-    n = samples.shape[0]
-    out = np.zeros((n, n))
-    for i in range(n - 1):
-        diff = samples[i + 1 :] - samples[i]
-        dist = np.sqrt(np.einsum("nsm,nsm->ns", diff, diff)).mean(axis=1)
-        out[i, i + 1 :] = dist
-        out[i + 1 :, i] = dist
-    return out
+def expected_distance_matrix(
+    samples: np.ndarray, block: Optional[int] = None
+) -> np.ndarray:
+    """``(n, n)`` Monte-Carlo expected Euclidean distances between objects.
+
+    Computed in memory-bounded column blocks (see
+    :mod:`repro.clustering._density`); ``block`` overrides the
+    automatic block width.
+    """
+    return _density.expected_distance_matrix(samples, block=block)
 
 
 def cluster_ordering(
@@ -104,7 +106,7 @@ def extract_by_threshold(
     return labels
 
 
-class FOPTICS(UncertainClusterer):
+class FOPTICS(SampleCacheMixin, UncertainClusterer):
     """Fuzzy OPTICS over uncertain objects [13].
 
     Parameters
@@ -120,10 +122,17 @@ class FOPTICS(UncertainClusterer):
         When given, the cut threshold is bisected until (approximately)
         this many clusters are produced — used by the paper-style
         experiments that fix ``k`` across algorithms.
+
+    Notes
+    -----
+    As a :class:`SampleCacheMixin` subclass, the off-line sample tensor
+    can be pinned via ``sample_cache`` — the multi-restart engine and
+    the experiment runners use this to draw it exactly once.
     """
 
     name = "FOPT"
     has_objective = False
+    sample_randomness_only = True
 
     def __init__(
         self,
@@ -153,9 +162,9 @@ class FOPTICS(UncertainClusterer):
         rng = ensure_rng(seed)
         min_pts = min(self.min_pts, n)
 
-        samples = np.empty((n, self.n_samples, dataset.dim))
-        for idx, obj in enumerate(dataset):
-            samples[idx] = obj.sample(self.n_samples, rng)
+        # Off-line: one batched draw of the whole (n, S, m) tensor
+        # (or the engine-injected shared cache).
+        samples = self._draw_samples(dataset, rng)
 
         watch = Stopwatch()
         with watch.running():

@@ -6,6 +6,6 @@ many random restarts over a shared precomputed moment/sample cache,
 sequentially or process-parallel, keeping the best result by objective.
 """
 
-from repro.engine.runner import MultiRestartRunner, RestartRecord
+from repro.engine.runner import MultiRestartRunner, RestartRecord, fit_runs
 
-__all__ = ["MultiRestartRunner", "RestartRecord"]
+__all__ = ["MultiRestartRunner", "RestartRecord", "fit_runs"]

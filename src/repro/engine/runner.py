@@ -47,7 +47,13 @@ class RestartRecord:
 
 
 def _spawn_seeds(seed: SeedLike, count: int) -> List[int]:
-    """Derive ``count`` independent integer seeds from any seed form."""
+    """Derive ``count`` independent integer seeds from any seed form.
+
+    Prefix-stable: the first ``k`` seeds of a ``count``-sized spawn
+    equal a ``k``-sized spawn (SeedSequence children are indexed;
+    Generator draws are sequential), so callers may derive extra seeds
+    lazily without perturbing the ones already handed out.
+    """
     if isinstance(seed, np.random.Generator):
         return [int(s) for s in seed.integers(0, 2**63 - 1, size=count)]
     sequence = np.random.SeedSequence(seed)
@@ -110,14 +116,6 @@ class MultiRestartRunner:
             raise InvalidParameterError(f"n_init must be >= 1, got {n_init}")
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
-        if n_init > 1 and not getattr(clusterer, "has_objective", True):
-            warnings.warn(
-                f"{type(clusterer).__name__} produces no objective; "
-                f"restarts cannot be ranked and best-of-{n_init} will "
-                "return the first restart at n_init times the cost",
-                UserWarning,
-                stacklevel=2,
-            )
         self.clusterer = clusterer
         self.n_init = int(n_init)
         self.n_jobs = int(n_jobs)
@@ -134,38 +132,125 @@ class MultiRestartRunner:
         without one) lose to any finite objective and fall back to the
         first restart.
         """
-        seeds = _spawn_seeds(seed, self.n_init + 1)
-        sample_seed, restart_seeds = seeds[0], seeds[1:]
-        pinned = getattr(self.clusterer, "sample_cache", None)
-        if pinned is not None:
-            # The caller already fixed the sample tensor; every restart
-            # reads it as-is, so there is nothing to draw or restore.
-            cache = None
+        if self.n_init > 1 and not getattr(self.clusterer, "has_objective", True):
+            warnings.warn(
+                f"{type(self.clusterer).__name__} produces no objective; "
+                f"restarts cannot be ranked and best-of-{self.n_init} will "
+                "return the first restart at n_init times the cost",
+                UserWarning,
+                stacklevel=2,
+            )
+        need_sample = self._needs_sample_cache()
+        restart_seeds, sample_seed = self._derive_seeds(seed, need_sample)
+        results = self._run_with_cache(
+            dataset, restart_seeds, sample_seed, need_sample
+        )
+        return self._select_best(results, restart_seeds, self._shared(need_sample))
+
+    def run_all(
+        self,
+        dataset: UncertainDataset,
+        seed: SeedLike = None,
+        *,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> List[ClusteringResult]:
+        """Run every restart and return *all* results, in restart order.
+
+        This is the engine entry point for callers that aggregate over
+        runs instead of keeping the best — the experiment runners
+        average metrics over ``n_runs`` seeded fits while still sharing
+        the dataset's moment matrices and one sample tensor.
+
+        Parameters
+        ----------
+        seed:
+            Seeds both the derived restart seeds and (for sample-based
+            algorithms) the shared tensor draw.
+        seeds:
+            Explicit per-restart seeds; overrides ``n_init`` (one
+            restart per entry) and leaves ``seed`` as the source of the
+            shared-tensor draw only.  Restarts are fitted exactly as
+            ``clusterer.fit(dataset, seed=seeds[i])`` would, so a caller
+            can reproduce (and test against) the direct per-fit path.
+        """
+        need_sample = self._needs_sample_cache()
+        if seeds is None:
+            restart_seeds, sample_seed = self._derive_seeds(seed, need_sample)
         else:
-            cache = self._build_sample_cache(dataset, sample_seed)
-            if cache is not None:
-                self.clusterer.sample_cache = cache
-        try:
-            results = self._execute(dataset, restart_seeds)
-        finally:
-            if cache is not None:
-                self.clusterer.sample_cache = None
-        shared = pinned is not None or cache is not None
-        return self._select_best(results, restart_seeds, shared)
+            restart_seeds = list(seeds)
+            if not restart_seeds:
+                raise InvalidParameterError("seeds must not be empty")
+            # ``seed`` may legitimately be None here (fresh entropy for
+            # the shared draw) — ``need_sample`` alone decides whether
+            # the tensor is drawn.
+            sample_seed = seed
+        return self._run_with_cache(dataset, restart_seeds, sample_seed, need_sample)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _build_sample_cache(
-        self, dataset: UncertainDataset, seed: int
-    ) -> Optional[np.ndarray]:
-        """The shared ``(n, S, m)`` tensor, or None when inapplicable."""
+    def _needs_sample_cache(self) -> bool:
+        """Whether a shared tensor must be drawn for this clusterer."""
         if not self.share_samples:
-            return None
-        n_samples = getattr(self.clusterer, "n_samples", None)
-        if n_samples is None or not hasattr(self.clusterer, "sample_cache"):
-            return None
-        return dataset.sample_tensor(int(n_samples), seed)
+            return False
+        if getattr(self.clusterer, "sample_cache", None) is not None:
+            # The caller already pinned a tensor; nothing to draw.
+            return False
+        return (
+            getattr(self.clusterer, "n_samples", None) is not None
+            and hasattr(self.clusterer, "sample_cache")
+        )
+
+    def _shared(self, need_sample: bool) -> bool:
+        """Whether restarts read one shared tensor (drawn or pinned)."""
+        return (
+            need_sample
+            or getattr(self.clusterer, "sample_cache", None) is not None
+        )
+
+    def _derive_seeds(
+        self, seed: SeedLike, need_sample: bool
+    ) -> tuple[List[int], Optional[int]]:
+        """Restart seeds plus (lazily) one shared-tensor seed.
+
+        Restart seeds come first and are the same whether or not a
+        sample seed is needed, so moment-based algorithms consume
+        exactly the seeds a direct per-fit loop would — the experiment
+        routing equivalence in ``tests/test_engine.py`` pins this.
+        """
+        if isinstance(seed, np.random.Generator):
+            restart = _spawn_seeds(seed, self.n_init)
+            sample = _spawn_seeds(seed, 1)[0] if need_sample else None
+        else:
+            total = self.n_init + (1 if need_sample else 0)
+            seeds = _spawn_seeds(seed, total)
+            restart = seeds[: self.n_init]
+            sample = seeds[-1] if need_sample else None
+        return restart, sample
+
+    def _run_with_cache(
+        self,
+        dataset: UncertainDataset,
+        restart_seeds: Sequence[SeedLike],
+        sample_seed: Optional[SeedLike],
+        need_sample: bool,
+    ) -> List[ClusteringResult]:
+        """Execute restarts with the shared tensor injected/restored.
+
+        ``need_sample`` (not ``sample_seed``) gates the draw: a None
+        seed with ``need_sample`` still draws one shared tensor, from
+        fresh entropy.
+        """
+        cache: Optional[np.ndarray] = None
+        if need_sample:
+            n_samples = int(self.clusterer.n_samples)
+            cache = dataset.sample_tensor(n_samples, sample_seed)
+            self.clusterer.sample_cache = cache
+        try:
+            return self._execute(dataset, restart_seeds)
+        finally:
+            if cache is not None:
+                self.clusterer.sample_cache = None
 
     def _execute(
         self, dataset: UncertainDataset, restart_seeds: Sequence[int]
@@ -223,3 +308,44 @@ class MultiRestartRunner:
             objective_history=list(best.objective_history),
             extras=extras,
         )
+
+
+def fit_runs(
+    clusterer: UncertainClusterer,
+    dataset: UncertainDataset,
+    seeds: Sequence[SeedLike],
+    *,
+    engine: bool = True,
+    sample_seed: SeedLike = None,
+    share_samples: Optional[bool] = None,
+    n_jobs: int = 1,
+) -> List[ClusteringResult]:
+    """Fit ``clusterer`` once per seed, optionally through the engine.
+
+    The uniform multi-run entry point of the experiment runners: with
+    ``engine=True`` (default) the fits execute through
+    :meth:`MultiRestartRunner.run_all`, sharing the dataset's moment
+    matrices and — for sample-based algorithms — one sample tensor
+    drawn from ``sample_seed``; with ``engine=False`` each seed is
+    fitted directly (the pre-engine idiom, kept as the reference path
+    for the routing-equivalence tests).
+
+    ``share_samples=None`` resolves per algorithm: algorithms whose
+    only randomness is the Monte-Carlo draw
+    (``sample_randomness_only``, i.e. FDBSCAN/FOPTICS) draw per-run
+    tensors from their own run seeds — sharing one tensor would make
+    every "run" the same realization, degrading a multi-run average to
+    a single measurement — while everything else shares.  With that
+    resolution the engine path is fit-for-fit identical to the direct
+    path for both the moment-based *and* the sample-deterministic
+    algorithms.
+    """
+    seeds = list(seeds)
+    if not engine:
+        return [clusterer.fit(dataset, seed=s) for s in seeds]
+    if share_samples is None:
+        share_samples = not getattr(clusterer, "sample_randomness_only", False)
+    runner = MultiRestartRunner(
+        clusterer, n_init=len(seeds), n_jobs=n_jobs, share_samples=share_samples
+    )
+    return runner.run_all(dataset, seed=sample_seed, seeds=seeds)

@@ -112,26 +112,76 @@ def evaluate_theta_multirun(
     n_runs: int = 10,
     seed: SeedLike = None,
     distances: Optional[np.ndarray] = None,
+    engine: bool = True,
 ) -> AveragedThetaResult:
     """Average the paired protocol over independent runs.
 
     The paper averages every measurement over 50 runs to wash out
     non-deterministic initialization; the experiment harness defaults to
     fewer runs for laptop runtimes (configurable).
+
+    With ``engine=True`` the Case-1 and Case-2 fit series each execute
+    through :func:`repro.engine.fit_runs` — every run reads the same
+    dataset moment cache and (for sample-based algorithms with
+    initialization randomness) one shared sample tensor per dataset
+    instead of re-drawing per run.  Algorithms whose only randomness is
+    the Monte-Carlo draw (FDBSCAN/FOPTICS) keep per-run independent
+    draws, preserving the paper's averaging semantics.  The per-run
+    seeds are derived exactly as in the direct loop, so the
+    moment-based and sample-deterministic algorithms produce identical
+    averages either way.
     """
     if n_runs < 1:
         raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
     if distances is None:
         distances = pairwise_squared_expected_distances(pair.uncertain)
+    reference = pair.uncertain.labels
+    if reference is None:
+        raise InvalidParameterError(
+            "the protocol needs reference labels on the uncertain dataset"
+        )
     seeds = spawn_rngs(seed, n_runs)
+    # Two extra streams for the shared-tensor draws.  Derived in *both*
+    # modes (and for every algorithm type) so ``seed`` consumption —
+    # and hence any caller reusing the generator afterwards — never
+    # depends on the routing mode or the roster position.
+    sample_rng1, sample_rng2 = _extra_streams(seed, 2, already=n_runs)
     thetas = np.empty(n_runs)
     qualities = np.empty(n_runs)
     runtimes = np.empty(n_runs)
-    for run, run_seed in enumerate(seeds):
-        outcome = evaluate_theta(algorithm, pair, run_seed, distances)
-        thetas[run] = outcome.theta
-        qualities[run] = outcome.quality
-        runtimes[run] = outcome.runtime_case2
+    if engine:
+        from repro.engine import fit_runs
+
+        # Mirror evaluate_theta's consumption of each run seed (one
+        # spawned stream per case), then fit each case's series through
+        # the engine.
+        case_seeds = [spawn_rngs(run_seed, 2) for run_seed in seeds]
+        results_case1 = fit_runs(
+            algorithm,
+            pair.perturbed,
+            [run_pair[0] for run_pair in case_seeds],
+            sample_seed=sample_rng1,
+        )
+        results_case2 = fit_runs(
+            algorithm,
+            pair.uncertain,
+            [run_pair[1] for run_pair in case_seeds],
+            sample_seed=sample_rng2,
+        )
+        for run, (case1, case2) in enumerate(zip(results_case1, results_case2)):
+            thetas[run] = f_measure(case2.labels, reference) - f_measure(
+                case1.labels, reference
+            )
+            qualities[run] = internal_scores(
+                pair.uncertain, case2.labels, distances
+            ).quality
+            runtimes[run] = case2.runtime_seconds
+    else:
+        for run, run_seed in enumerate(seeds):
+            outcome = evaluate_theta(algorithm, pair, run_seed, distances)
+            thetas[run] = outcome.theta
+            qualities[run] = outcome.quality
+            runtimes[run] = outcome.runtime_case2
     return AveragedThetaResult(
         theta_mean=float(thetas.mean()),
         theta_std=float(thetas.std()),
@@ -140,3 +190,16 @@ def evaluate_theta_multirun(
         runtime_mean=float(runtimes.mean()),
         n_runs=n_runs,
     )
+
+
+def _extra_streams(seed: SeedLike, count: int, already: int):
+    """``count`` fresh streams distinct from the first ``already`` ones.
+
+    For a stateful :class:`Generator` seed the next spawn is already
+    distinct; for int/None seeds the spawn is restarted from the seed
+    sequence, so the first ``already`` children (handed out earlier)
+    are skipped.
+    """
+    if isinstance(seed, np.random.Generator):
+        return spawn_rngs(seed, count)
+    return spawn_rngs(seed, already + count)[already:]

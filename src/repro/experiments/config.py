@@ -106,6 +106,17 @@ class ExperimentConfig:
         Uncertainty magnitude for the Section 5.1 generator.
     mass:
         Case-2 region probability mass (paper: 0.95).
+    engine:
+        Route the per-run fits of every experiment through
+        :func:`repro.engine.fit_runs`, sharing one sample tensor and
+        the dataset moment cache across runs (except for
+        FDBSCAN/FOPTICS, whose only randomness is the draw itself —
+        they keep independent per-run tensors so the ``n_runs`` average
+        stays a real average).  ``False`` keeps the direct per-fit loop
+        (the reference path of the routing equivalence tests); seed
+        derivation is identical in both modes, so the moment-based and
+        sample-deterministic algorithms produce the same measurements
+        either way.
     """
 
     scale: float = 1.0
@@ -115,6 +126,7 @@ class ExperimentConfig:
     n_samples: int = 32
     spread: float = 1.0
     mass: float = 0.95
+    engine: bool = True
 
     def __post_init__(self) -> None:
         if not (0.0 < self.scale <= 1.0):

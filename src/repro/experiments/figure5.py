@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.datagen.benchmarks import make_benchmark
 from repro.datagen.uncertainty_gen import UncertaintyGenerator
+from repro.engine import fit_runs
 from repro.experiments.config import (
     SCALABILITY_ROSTER,
     ExperimentConfig,
@@ -115,10 +116,17 @@ def run_figure5(
             algorithm = build_algorithm(
                 alg_name, n_clusters=k, n_samples=config.n_samples
             )
-            run_seeds = spawn_rngs(rng_runs, config.n_runs)
-            times = np.empty(config.n_runs)
-            for run, run_seed in enumerate(run_seeds):
-                result = algorithm.fit(subset, seed=run_seed)
-                times[run] = result.runtime_seconds
+            # n_runs + 1 streams: the last seeds the shared tensor (when
+            # applicable), keeping rng_runs consumption independent of
+            # the engine mode and of the algorithm type.
+            streams = spawn_rngs(rng_runs, config.n_runs + 1)
+            results = fit_runs(
+                algorithm,
+                subset,
+                streams[:-1],
+                engine=config.engine,
+                sample_seed=streams[-1],
+            )
+            times = np.array([result.runtime_seconds for result in results])
             report.runtimes_ms[(frac, alg_name)] = float(times.mean() * 1e3)
     return report

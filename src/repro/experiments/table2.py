@@ -168,6 +168,7 @@ def run_table2(
                     n_runs=config.n_runs,
                     seed=rng,
                     distances=distances,
+                    engine=config.engine,
                 )
                 report.cells[(ds_name, family, alg_name)] = Table2Cell(
                     theta=outcome.theta_mean, quality=outcome.quality_mean

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datagen.microarray import make_microarray
+from repro.engine import fit_runs
 from repro.evaluation.internal import internal_scores
 from repro.experiments.config import ACCURACY_ROSTER, ExperimentConfig, build_algorithm
 from repro.objects.distance import pairwise_squared_expected_distances
@@ -99,7 +100,9 @@ def run_table3(
     Default ``config.scale`` keeps the gene count laptop-sized (the
     paper's 22k genes make the O(n^2) competitors very slow — that is
     Figure 4's point, not Table 3's).  Q is averaged over
-    ``config.n_runs`` runs per cell.
+    ``config.n_runs`` runs per cell; with ``config.engine`` the runs
+    execute through :func:`repro.engine.fit_runs`, sharing one sample
+    tensor per (dataset, k, algorithm) cell.
     """
     config = config or ExperimentConfig(scale=0.02)
     report = Table3Report(
@@ -119,12 +122,23 @@ def run_table3(
                 algorithm = build_algorithm(
                     alg_name, n_clusters=k_eff, n_samples=config.n_samples
                 )
-                run_seeds = spawn_rngs(ds_rng, config.n_runs)
-                scores = np.empty(config.n_runs)
-                for run, run_seed in enumerate(run_seeds):
-                    result = algorithm.fit(dataset, seed=run_seed)
-                    scores[run] = internal_scores(
-                        dataset, result.labels, distances
-                    ).quality
+                # n_runs + 1 streams: the last seeds the shared tensor
+                # (when applicable), so ds_rng consumption — and hence
+                # every later cell's seeds — is identical whichever
+                # engine mode (and algorithm type) ran before.
+                streams = spawn_rngs(ds_rng, config.n_runs + 1)
+                results = fit_runs(
+                    algorithm,
+                    dataset,
+                    streams[:-1],
+                    engine=config.engine,
+                    sample_seed=streams[-1],
+                )
+                scores = np.array(
+                    [
+                        internal_scores(dataset, result.labels, distances).quality
+                        for result in results
+                    ]
+                )
                 report.quality[(ds_name, k, alg_name)] = float(scores.mean())
     return report

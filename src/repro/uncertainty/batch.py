@@ -22,9 +22,15 @@ This module replaces the per-object loop with one vectorized draw per
   batched and per-object sampling produce identical values for
   identical quantiles.
 
-Distributions without a registered family transform (empirical,
-mixtures, custom multivariates) fall back to their own ``sample``
-method, so the tensor sampler accepts *any* collection of
+Beyond the univariate family registry, two multivariate families are
+grouped natively so that *every* distribution in the library takes a
+vectorized path: :class:`EmpiricalDistribution` (one inverse-CDF
+``searchsorted`` over the stacked weight tables of the whole group) and
+:class:`MixtureDistribution` (one uniform matrix selects components by
+inverse CDF, then a recursive child plan over all components realizes
+them in a single batched draw).  Only custom third-party multivariates
+without a registered transform fall back to their own ``sample``
+method, so the tensor sampler still accepts *any* collection of
 :class:`~repro.uncertainty.base.MultivariateDistribution`.
 """
 
@@ -38,7 +44,9 @@ from scipy.special import ndtri
 from repro._typing import FloatArray, SeedLike
 from repro.exceptions import DimensionMismatchError, InvalidParameterError
 from repro.uncertainty.base import MultivariateDistribution, UnivariateDistribution
+from repro.uncertainty.empirical import EmpiricalDistribution
 from repro.uncertainty.exponential import TruncatedExponentialDistribution
+from repro.uncertainty.mixture import MixtureDistribution
 from repro.uncertainty.normal import TruncatedNormalDistribution
 from repro.uncertainty.point import MultivariatePointMass, PointMassDistribution
 from repro.uncertainty.product import IndependentProduct
@@ -84,14 +92,20 @@ def batch_families() -> Tuple[type, ...]:
 def is_batchable(dist: MultivariateDistribution) -> bool:
     """Whether ``dist`` is sampled by the grouped fast path.
 
-    True for point masses and for independent products whose marginals
-    all belong to registered families; anything else takes the
-    per-object ``sample`` fallback inside :meth:`SamplingPlan.sample`.
+    True for point masses, for independent products whose marginals all
+    belong to registered families, for empirical distributions, and for
+    mixtures whose components are (recursively) batchable; anything
+    else takes the per-object ``sample`` fallback inside
+    :meth:`SamplingPlan.sample`.
     """
     if isinstance(dist, MultivariatePointMass):
         return True
     if type(dist) is IndependentProduct:
         return all(type(m) in _FAMILIES for m in dist.marginals)
+    if isinstance(dist, EmpiricalDistribution):
+        return True
+    if isinstance(dist, MixtureDistribution):
+        return all(is_batchable(comp) for comp in dist.components)
     return False
 
 
@@ -211,6 +225,107 @@ register_batch_sampler(PointMassDistribution)(
 
 
 # ----------------------------------------------------------------------
+# Multivariate group samplers: empirical tables and finite mixtures.
+# ----------------------------------------------------------------------
+class _RowCdfTable:
+    """Many per-row CDF tables, searchable in one vectorized lookup.
+
+    Row ``r``'s values are shifted into ``(r, r + 1]`` (each CDF ends at
+    exactly 1), so one global ``searchsorted(table, r + q, "right")``
+    performs every row's inverse-CDF lookup at once.  The shift rounds
+    (``fl(x + r)`` loses low bits as ``r`` grows), so the candidate
+    indices are then *refined* against the unshifted per-row values —
+    the final count of entries ``<= q`` is exactly the one the per-row
+    ``searchsorted(cdf_r, q, "right")`` of the sequential samplers
+    produces, keeping grouped and per-object draws identical value for
+    value, ulp ties included.
+    """
+
+    __slots__ = ("shifted", "raw", "offsets", "last_index")
+
+    def __init__(self, cdfs: Sequence[FloatArray]):
+        sizes = np.array([cdf.shape[0] for cdf in cdfs], dtype=np.intp)
+        self.offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        self.raw = np.concatenate(list(cdfs))
+        self.shifted = np.concatenate(
+            [cdf + r for r, cdf in enumerate(cdfs)]
+        )
+        self.last_index = self.offsets + sizes - 1
+
+    def lookup(self, q: FloatArray) -> FloatArray:
+        """Flat table index selected by each uniform in ``q`` (g, S)."""
+        g = q.shape[0]
+        shifted_q = q + np.arange(g)[:, None]
+        flat = np.searchsorted(
+            self.shifted, shifted_q.ravel(), side="right"
+        ).reshape(q.shape)
+        lower = self.offsets[:, None]
+        upper = self.last_index[:, None] + 1  # exclusive row end
+        flat = np.clip(flat, lower, upper)
+        top = self.raw.shape[0] - 1
+        while True:
+            # Exact per-row correction: entry k is counted iff
+            # raw[k] <= q.  "over"/"under" are mutually exclusive (the
+            # CDF is non-decreasing), so each step moves monotonically
+            # toward the exact count; outside ulp ties it runs once.
+            over = (flat > lower) & (
+                self.raw[np.clip(flat - 1, 0, top)] > q
+            )
+            under = (flat < upper) & (
+                self.raw[np.clip(flat, 0, top)] <= q
+            )
+            if not (over.any() or under.any()):
+                break
+            flat = flat - over + under
+        # Clamp the count to the last entry, as the sequential
+        # samplers do (a no-op for q < 1 since each CDF ends at 1).
+        return np.minimum(flat, self.last_index[:, None])
+
+
+class _EmpiricalGroup:
+    """All empirical objects of a collection, one searchsorted per draw."""
+
+    __slots__ = ("rows", "values", "table")
+
+    def __init__(self, rows: np.ndarray, members: Sequence[EmpiricalDistribution]):
+        self.rows = rows
+        self.values = np.concatenate([m.samples for m in members], axis=0)
+        self.table = _RowCdfTable([m.weight_cdf for m in members])
+
+    def sample(self, n_samples: int, rng: np.random.Generator, out: FloatArray) -> None:
+        q = rng.random((self.rows.size, n_samples))
+        out[self.rows] = self.values[self.table.lookup(q)]
+
+
+class _MixtureGroup:
+    """All (batchable) mixtures of a collection.
+
+    One uniform matrix selects each draw's component via the stacked
+    weight CDFs; a recursive child :class:`SamplingPlan` over the
+    concatenation of every member's components realizes all components
+    in one batched draw, and the selection gathers from it.  Mirrors
+    :meth:`MixtureDistribution.sample` transform for transform, so a
+    single-mixture collection reproduces the sequential draws exactly.
+    """
+
+    __slots__ = ("rows", "table", "child_plan")
+
+    def __init__(self, rows: np.ndarray, members: Sequence[MixtureDistribution]):
+        self.rows = rows
+        self.table = _RowCdfTable([m.weight_cdf for m in members])
+        components: List[MultivariateDistribution] = []
+        for member in members:
+            components.extend(member.components)
+        self.child_plan = build_sampling_plan(components)
+
+    def sample(self, n_samples: int, rng: np.random.Generator, out: FloatArray) -> None:
+        q = rng.random((self.rows.size, n_samples))
+        chosen = self.table.lookup(q)
+        realizations = self.child_plan.sample(n_samples, rng)
+        out[self.rows] = realizations[chosen, np.arange(n_samples)[None, :]]
+
+
+# ----------------------------------------------------------------------
 # The sampling plan and the dataset-level tensor sampler.
 # ----------------------------------------------------------------------
 class _FamilyGroup:
@@ -238,20 +353,33 @@ class SamplingPlan:
     """
 
     __slots__ = ("n_objects", "dim", "_groups", "_point_rows",
-                 "_point_values", "_fallback")
+                 "_point_values", "_empirical", "_mixture", "_fallback")
 
-    def __init__(self, n_objects, dim, groups, point_rows, point_values, fallback):
+    def __init__(self, n_objects, dim, groups, point_rows, point_values,
+                 empirical, mixture, fallback):
         self.n_objects = n_objects
         self.dim = dim
         self._groups = groups
         self._point_rows = point_rows
         self._point_values = point_values
+        self._empirical = empirical
+        self._mixture = mixture
         self._fallback = fallback
 
     @property
     def n_batched_cells(self) -> int:
-        """Marginal cells covered by the grouped fast path."""
+        """Univariate marginal cells covered by the family fast path."""
         return sum(group.rows.size for group in self._groups)
+
+    @property
+    def n_empirical(self) -> int:
+        """Objects drawn through the grouped empirical-table path."""
+        return 0 if self._empirical is None else self._empirical.rows.size
+
+    @property
+    def n_mixture(self) -> int:
+        """Objects drawn through the grouped mixture path."""
+        return 0 if self._mixture is None else self._mixture.rows.size
 
     @property
     def n_fallback(self) -> int:
@@ -259,7 +387,15 @@ class SamplingPlan:
         return len(self._fallback)
 
     def sample(self, n_samples: int, seed: SeedLike = None) -> FloatArray:
-        """Draw the ``(n, S, m)`` tensor; deterministic for a fixed seed."""
+        """Draw the ``(n, S, m)`` tensor; deterministic for a fixed seed.
+
+        RNG consumption order: registered family groups (registration
+        order), then the empirical group, then the mixture group, then
+        per-object fallbacks in collection order.  For a collection
+        homogeneous in one path, this order coincides with the
+        per-object loop's, so batched and sequential draws are
+        identical value for value.
+        """
         if n_samples < 1:
             raise InvalidParameterError(
                 f"n_samples must be >= 1, got {n_samples}"
@@ -277,6 +413,10 @@ class SamplingPlan:
                 ).swapaxes(1, 2)
             else:
                 out[group.rows, :, group.dims] = values
+        if self._empirical is not None:
+            self._empirical.sample(n_samples, rng, out)
+        if self._mixture is not None:
+            self._mixture.sample(n_samples, rng, out)
         for idx, dist in self._fallback:
             out[idx] = dist.sample(n_samples, rng)
         return out
@@ -285,12 +425,14 @@ class SamplingPlan:
 def build_sampling_plan(
     distributions: Sequence[MultivariateDistribution],
 ) -> SamplingPlan:
-    """Group a collection's marginal cells by family into a plan.
+    """Group a collection's cells and objects by family into a plan.
 
     Marginal cells of registered families are stacked per family
     (registration order), point masses are recorded for broadcast
-    without randomness, and anything else is kept as a per-object
-    fallback, sampled in collection order after the grouped draws.
+    without randomness, empirical objects and batchable mixtures get
+    their own grouped samplers, and anything else is kept as a
+    per-object fallback, sampled in collection order after the grouped
+    draws.
     """
     dists = list(distributions)
     if not dists:
@@ -307,11 +449,21 @@ def build_sampling_plan(
     cells: Dict[type, List[Tuple[int, int, UnivariateDistribution]]] = {}
     point_rows: List[int] = []
     point_values: List[FloatArray] = []
+    empirical_rows: List[int] = []
+    empirical_members: List[EmpiricalDistribution] = []
+    mixture_rows: List[int] = []
+    mixture_members: List[MixtureDistribution] = []
     fallback: List[Tuple[int, MultivariateDistribution]] = []
     for idx, dist in enumerate(dists):
         if isinstance(dist, MultivariatePointMass):
             point_rows.append(idx)
             point_values.append(dist.mean_vector)
+        elif isinstance(dist, EmpiricalDistribution):
+            empirical_rows.append(idx)
+            empirical_members.append(dist)
+        elif isinstance(dist, MixtureDistribution) and is_batchable(dist):
+            mixture_rows.append(idx)
+            mixture_members.append(dist)
         elif is_batchable(dist):
             for j, marginal in enumerate(dist.marginals):
                 cells.setdefault(type(marginal), []).append((idx, j, marginal))
@@ -338,6 +490,20 @@ def build_sampling_plan(
             np.vstack(point_values)
             if point_values
             else np.empty((0, dim))
+        ),
+        empirical=(
+            _EmpiricalGroup(
+                np.asarray(empirical_rows, dtype=np.intp), empirical_members
+            )
+            if empirical_rows
+            else None
+        ),
+        mixture=(
+            _MixtureGroup(
+                np.asarray(mixture_rows, dtype=np.intp), mixture_members
+            )
+            if mixture_rows
+            else None
         ),
         fallback=fallback,
     )

@@ -34,7 +34,7 @@ class EmpiricalDistribution(MultivariateDistribution):
         uniform.
     """
 
-    __slots__ = ("_samples", "_weights", "_region", "_mean", "_second")
+    __slots__ = ("_samples", "_weights", "_cdf", "_region", "_mean", "_second")
 
     def __init__(self, samples: MatrixLike, weights: Optional[VectorLike] = None):
         self._samples = ensure_matrix(samples, "samples")
@@ -53,6 +53,12 @@ class EmpiricalDistribution(MultivariateDistribution):
             self._weights = raw / total
         self._samples.setflags(write=False)
         self._weights.setflags(write=False)
+        # Weight CDF for inverse-transform sampling; the final entry is
+        # exactly 1 (x / x == 1.0 in IEEE), so a uniform draw in [0, 1)
+        # always lands inside the table.
+        self._cdf = self._weights.cumsum()
+        self._cdf /= self._cdf[-1]
+        self._cdf.setflags(write=False)
 
         self._region = BoxRegion(
             self._samples.min(axis=0), self._samples.max(axis=0)
@@ -76,6 +82,11 @@ class EmpiricalDistribution(MultivariateDistribution):
     def n_samples(self) -> int:
         """Number of stored samples."""
         return self._samples.shape[0]
+
+    @property
+    def weight_cdf(self) -> FloatArray:
+        """Cumulative normalized weights, shape ``(s,)``; last entry 1."""
+        return self._cdf
 
     @property
     def region(self) -> BoxRegion:
@@ -105,7 +116,14 @@ class EmpiricalDistribution(MultivariateDistribution):
         return out
 
     def sample(self, size: int, seed: SeedLike = None) -> FloatArray:
-        """Bootstrap resample of the stored points."""
+        """Bootstrap resample of the stored points.
+
+        Implemented as an explicit inverse-CDF transform over one
+        uniform per draw — the same operation ``Generator.choice``
+        performs internally (stream-identical), spelled out so the
+        grouped batch sampler (:mod:`repro.uncertainty.batch`) can run
+        the identical transform for many empirical objects at once.
+        """
         rng = ensure_rng(seed)
-        indices = rng.choice(self.n_samples, size=size, p=self._weights)
-        return self._samples[indices]
+        indices = np.searchsorted(self._cdf, rng.random(size), side="right")
+        return self._samples[np.minimum(indices, self.n_samples - 1)]

@@ -33,7 +33,7 @@ class MixtureDistribution(MultivariateDistribution):
         weight ``1/|C|`` per member).  Must be nonnegative and sum to 1.
     """
 
-    __slots__ = ("_components", "_weights", "_region", "_mean", "_second")
+    __slots__ = ("_components", "_weights", "_cdf", "_region", "_mean", "_second")
 
     def __init__(
         self,
@@ -62,6 +62,11 @@ class MixtureDistribution(MultivariateDistribution):
                     f"weights must sum to 1, got {total}"
                 )
         self._weights.setflags(write=False)
+        # Mixing-weight CDF for inverse-transform component selection;
+        # the final entry is exactly 1 (x / x == 1.0 in IEEE).
+        self._cdf = np.cumsum(self._weights)
+        self._cdf /= self._cdf[-1]
+        self._cdf.setflags(write=False)
 
         region = self._components[0].region
         for comp in self._components[1:]:
@@ -88,6 +93,11 @@ class MixtureDistribution(MultivariateDistribution):
         return self._weights
 
     @property
+    def weight_cdf(self) -> FloatArray:
+        """Cumulative mixing proportions, shape ``(c,)``; last entry 1."""
+        return self._cdf
+
+    @property
     def region(self) -> BoxRegion:
         return self._region
 
@@ -108,12 +118,38 @@ class MixtureDistribution(MultivariateDistribution):
         return density
 
     def sample(self, size: int, seed: SeedLike = None) -> FloatArray:
+        """Draw ``size`` i.i.d. mixture samples.
+
+        Canonical two-stage scheme threading one :class:`Generator`:
+
+        1. one uniform per draw selects the component by inverse CDF of
+           the mixing weights;
+        2. one batched tensor draw over *all* components (via
+           :func:`repro.uncertainty.batch.sample_tensor`, which shares
+           this ``rng``) realizes every component at every sample slot,
+           and the selection gathers from it.
+
+        The earlier multinomial-count/shuffle formulation consumed the
+        stream through per-component RNG state in a count-dependent
+        order, so a grouped (batched) draw could never reproduce a
+        sequential one.  With this scheme the batch sampler runs the
+        identical transforms, and ``sample_tensor([mix], S, seed)``
+        equals ``mix.sample(S, seed)`` draw for draw (regression-pinned
+        in ``tests/test_batch_sampling.py``).
+
+        Cost of that alignment: every component is realized at every
+        slot, so a c-component mixture draws c times the samples it
+        keeps (count-dependent draws would make the RNG layout
+        data-dependent and unbatchable).  The library's mixtures are
+        small (MMVar centroids use their *moments*, not draws), so the
+        vectorization win dominates; for sampling-heavy use of mixtures
+        with many expensive components, draw from the components
+        directly instead.
+        """
+        from repro.uncertainty.batch import sample_tensor
+
         rng = ensure_rng(seed)
-        counts = rng.multinomial(size, self._weights)
-        chunks = []
-        for count, comp in zip(counts, self._components):
-            if count > 0:
-                chunks.append(comp.sample(int(count), rng))
-        samples = np.vstack(chunks)
-        rng.shuffle(samples, axis=0)
-        return samples
+        chosen = np.searchsorted(self._cdf, rng.random(size), side="right")
+        chosen = np.minimum(chosen, len(self._components) - 1)
+        realizations = sample_tensor(self._components, size, rng)
+        return realizations[chosen, np.arange(size)]

@@ -1,0 +1,234 @@
+"""Seed-for-seed equivalence of the ported density-based algorithms.
+
+PR 2 moved FDBSCAN and FOPTICS from per-object sampling loops onto the
+batched ``UncertainDataset.sample_tensor`` path and replaced their
+row-at-a-time pairwise computations with the blocked kernels of
+``repro.clustering._density``.  This suite pins — in the spirit of
+``TestLosslessPruningRegression`` — that the port is *behaviorally
+invisible*: against frozen copies of the pre-port implementations
+(reproduced below exactly as they shipped), the ported algorithms give
+
+* identical FDBSCAN labels, and
+* identical FOPTICS cluster orderings (and extracted labels),
+
+for the same seeds across 20 seeds.  The sampled tensors themselves are
+identical because the batched sampler consumes the RNG stream in the
+same order as the per-object loop for family-homogeneous datasets; the
+blocked kernels then agree with the legacy row loops to a few ulps,
+which the discrete outputs (labels, orderings) absorb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import FDBSCAN, FOPTICS, auto_eps
+from repro.clustering import _density
+from repro.clustering.base import ClusteringResult
+from repro.clustering.fdbscan import pairwise_reach_probabilities
+from repro.clustering.foptics import cluster_ordering, expected_distance_matrix
+from repro.datagen import make_blobs_uncertain
+from repro.utils.rng import ensure_rng
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-port reference implementations (verbatim seed-code idioms).
+# ----------------------------------------------------------------------
+def _legacy_sample_tensor(dataset, n_samples, rng):
+    """The replaced off-line idiom: one Python sample call per object."""
+    samples = np.empty((len(dataset), n_samples, dataset.dim))
+    for idx, obj in enumerate(dataset):
+        samples[idx] = obj.sample(n_samples, rng)
+    return samples
+
+
+def _legacy_reach_probabilities(samples, eps):
+    """Pre-port row-loop estimator of ``Pr(||X_i - X_j|| <= eps)``."""
+    n, _, _ = samples.shape
+    eps_sq = eps * eps
+    probs = np.eye(n)
+    for i in range(n - 1):
+        diff = samples[i + 1 :] - samples[i]
+        within = np.einsum("nsm,nsm->ns", diff, diff) <= eps_sq
+        p = within.mean(axis=1)
+        probs[i, i + 1 :] = p
+        probs[i + 1 :, i] = p
+    return probs
+
+
+def _legacy_expected_distances(samples):
+    """Pre-port row-loop Monte-Carlo expected-distance matrix."""
+    n = samples.shape[0]
+    out = np.zeros((n, n))
+    for i in range(n - 1):
+        diff = samples[i + 1 :] - samples[i]
+        dist = np.sqrt(np.einsum("nsm,nsm->ns", diff, diff)).mean(axis=1)
+        out[i, i + 1 :] = dist
+        out[i + 1 :, i] = dist
+    return out
+
+
+def _legacy_fdbscan_fit(model: FDBSCAN, dataset, seed) -> np.ndarray:
+    """Pre-port FDBSCAN fit: per-object sampling + row-loop estimator.
+
+    Graph expansion is shared with the ported class (it was not touched
+    by the port), exactly as the pruning regression shares the repair
+    helper with basic UK-means.
+    """
+    rng = ensure_rng(seed)
+    eps = model.eps if model.eps is not None else auto_eps(
+        dataset, model.eps_quantile
+    )
+    samples = _legacy_sample_tensor(dataset, model.n_samples, rng)
+    probs = _legacy_reach_probabilities(samples, eps)
+    expected_neighbors = probs.sum(axis=1)
+    is_core = expected_neighbors >= model.min_pts
+    reachable = probs >= model.reach_prob
+    return FDBSCAN._expand(is_core, reachable)
+
+
+def _legacy_foptics_fit(model: FOPTICS, dataset, seed):
+    """Pre-port FOPTICS fit: per-object sampling + row-loop distances."""
+    rng = ensure_rng(seed)
+    min_pts = min(model.min_pts, len(dataset))
+    samples = _legacy_sample_tensor(dataset, model.n_samples, rng)
+    distances = _legacy_expected_distances(samples)
+    ordering, reachability = cluster_ordering(distances, min_pts)
+    labels, _ = model._extract(ordering, reachability)
+    return ordering, reachability, labels
+
+
+@pytest.fixture(scope="module")
+def data():
+    # Moderate separation: clusters exist but the density structure has
+    # boundary objects and noise, so every code path is exercised.
+    return make_blobs_uncertain(
+        n_objects=80, n_clusters=4, separation=3.0, seed=91
+    )
+
+
+class TestDensityEquivalenceRegression:
+    """Ported density algorithms must reproduce the pre-port results.
+
+    Regression for the batched-sampling port: for family-homogeneous
+    datasets the batched tensor equals the per-object draws value for
+    value, and the blocked pairwise kernels must not flip any discrete
+    decision (core test, reachability edge, ordering step).
+    """
+
+    def test_fdbscan_exact_label_match_across_seeds(self, data):
+        model = FDBSCAN(min_pts=4, n_samples=24)
+        for seed in range(20):
+            ported: ClusteringResult = model.fit(data, seed=seed)
+            legacy = _legacy_fdbscan_fit(model, data, seed)
+            np.testing.assert_array_equal(
+                ported.labels,
+                legacy,
+                err_msg=f"FDBSCAN diverged from the pre-port path at seed {seed}",
+            )
+
+    def test_foptics_exact_ordering_match_across_seeds(self, data):
+        model = FOPTICS(min_pts=4, n_samples=24, n_clusters=4)
+        for seed in range(20):
+            ported = model.fit(data, seed=seed)
+            ordering, reachability, labels = _legacy_foptics_fit(
+                model, data, seed
+            )
+            np.testing.assert_array_equal(
+                np.asarray(ported.extras["ordering"]),
+                ordering,
+                err_msg=f"FOPTICS ordering diverged at seed {seed}",
+            )
+            np.testing.assert_array_equal(
+                ported.labels,
+                labels,
+                err_msg=f"FOPTICS extraction diverged at seed {seed}",
+            )
+            np.testing.assert_allclose(
+                np.asarray(ported.extras["reachability"]),
+                reachability,
+                rtol=1e-9,
+                err_msg=f"FOPTICS reachability diverged at seed {seed}",
+            )
+
+    def test_batched_tensor_matches_per_object_draws(self, data):
+        """The off-line phase itself is stream-identical on this data."""
+        for seed in (0, 7):
+            batched = data.sample_tensor(16, seed=seed)
+            legacy = _legacy_sample_tensor(data, 16, ensure_rng(seed))
+            np.testing.assert_array_equal(batched, legacy)
+
+
+class TestBlockedKernels:
+    """The blocked kernels agree with the row loops and with each other
+    regardless of the block width (the memory knob only trades peak
+    memory for iterations, never values)."""
+
+    @pytest.fixture(scope="class")
+    def samples(self, data):
+        return data.sample_tensor(24, seed=5)
+
+    def test_reach_probabilities_match_legacy(self, samples):
+        legacy = _legacy_reach_probabilities(samples, eps=1.5)
+        for block in (None, 1, 3, 64, 10_000):
+            blocked = pairwise_reach_probabilities(samples, 1.5, block=block)
+            np.testing.assert_array_equal(
+                blocked, legacy, err_msg=f"block={block}"
+            )
+
+    def test_expected_distances_match_legacy(self, samples):
+        """Bit-identical, not merely close: FOPTICS's ordering loop
+        breaks near-ties by float comparison, so the ED kernel must
+        reproduce the row loop exactly (the ROADMAP-guarded invariant)."""
+        legacy = _legacy_expected_distances(samples)
+        for block in (None, 1, 3, 64, 10_000):
+            blocked = expected_distance_matrix(samples, block=block)
+            np.testing.assert_array_equal(
+                blocked, legacy, err_msg=f"block={block}"
+            )
+
+    def test_memory_knob_respected(self, data, samples, monkeypatch):
+        """Shrinking the global element budget changes nothing but the
+        internal block width."""
+        reference = pairwise_reach_probabilities(samples, 1.5)
+        monkeypatch.setattr(_density, "DENSITY_BLOCK_ELEMENTS", 256)
+        constrained = pairwise_reach_probabilities(samples, 1.5)
+        np.testing.assert_array_equal(constrained, reference)
+        result = FDBSCAN(min_pts=4, n_samples=24).fit(data, seed=3)
+        unconstrained_labels = _legacy_fdbscan_fit(
+            FDBSCAN(min_pts=4, n_samples=24), data, 3
+        )
+        np.testing.assert_array_equal(result.labels, unconstrained_labels)
+
+    def test_invalid_block(self, samples):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            pairwise_reach_probabilities(samples, 1.0, block=0)
+
+
+class TestDensitySampleCache:
+    """FDBSCAN/FOPTICS honor the pinned-tensor protocol the engine uses."""
+
+    @pytest.mark.parametrize("cls", [FDBSCAN, FOPTICS], ids=["FDB", "FOPT"])
+    def test_pinned_cache_reused_verbatim(self, cls, data):
+        tensor = data.sample_tensor(16, seed=11)
+        first = cls(n_samples=16)
+        first.sample_cache = tensor
+        second = cls(n_samples=16)
+        second.sample_cache = tensor.copy()
+        # Different fit seeds: with a pinned tensor the fit is
+        # deterministic, so results must coincide.
+        a = first.fit(data, seed=0)
+        b = second.fit(data, seed=999)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @pytest.mark.parametrize("cls", [FDBSCAN, FOPTICS], ids=["FDB", "FOPT"])
+    def test_cache_shape_validated(self, cls, data):
+        from repro.exceptions import InvalidParameterError
+
+        model = cls(n_samples=8)
+        model.sample_cache = np.zeros((3, 8, data.dim))
+        with pytest.raises(InvalidParameterError):
+            model.fit(data, seed=0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,22 @@ def data():
     return make_blobs_uncertain(
         n_objects=90, n_clusters=4, separation=2.5, seed=13
     )
+
+
+@pytest.fixture
+def tensor_spy(monkeypatch):
+    """Counts UncertainDataset.sample_tensor calls (behavior intact)."""
+    from repro.objects.dataset import UncertainDataset
+
+    calls = {"count": 0}
+    original = UncertainDataset.sample_tensor
+
+    def counting(self, n_samples, seed=None):
+        calls["count"] += 1
+        return original(self, n_samples, seed)
+
+    monkeypatch.setattr(UncertainDataset, "sample_tensor", counting)
+    return calls
 
 
 class TestMultiRestartRunner:
@@ -85,11 +103,17 @@ class TestMultiRestartRunner:
         for cls in (FDBSCAN, FOPTICS, UAHC):
             assert cls.has_objective is False
 
-    def test_objective_less_clusterer_warns(self):
+    def test_objective_less_clusterer_warns_on_best_of(self, data):
+        """run() cannot rank objective-less restarts and says so;
+        run_all() aggregates without ranking, so it stays silent."""
         from repro.clustering import FDBSCAN
 
+        runner = MultiRestartRunner(FDBSCAN(n_samples=4), n_init=2)
         with pytest.warns(UserWarning, match="no objective"):
-            MultiRestartRunner(FDBSCAN(n_samples=4), n_init=2)
+            runner.run(data, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runner.run_all(data, seed=0)
 
     def test_shared_cache_off(self, data):
         best = MultiRestartRunner(
@@ -126,6 +150,232 @@ class TestMultiRestartRunner:
         gen = np.random.default_rng(9)
         best = MultiRestartRunner(UKMeans(4), n_init=3).run(data, seed=gen)
         assert len(best.extras["restart_history"]) == 3
+
+
+class TestRunAll:
+    def test_returns_all_results_in_order(self, data):
+        runner = MultiRestartRunner(UKMeans(4), n_init=5)
+        results = runner.run_all(data, seed=3)
+        assert len(results) == 5
+        best = runner.run(data, seed=3)
+        objectives = [r.objective for r in results]
+        assert best.objective == pytest.approx(min(objectives))
+
+    def test_moment_based_equals_direct_fits(self, data):
+        """Moment-based algorithms consume no sample seed, so run_all
+        is fit-for-fit identical to the direct per-seed loop."""
+        from repro.utils.rng import spawn_rngs
+
+        seeds = spawn_rngs(11, 4)
+        direct = [UKMeans(4).fit(data, seed=s) for s in seeds]
+        engine = MultiRestartRunner(UKMeans(4), n_init=1).run_all(
+            data, seeds=spawn_rngs(11, 4)
+        )
+        for d, e in zip(direct, engine):
+            np.testing.assert_array_equal(d.labels, e.labels)
+            assert d.objective == e.objective
+
+    def test_sample_based_equals_direct_fits_with_pinned_cache(self, data):
+        """With the shared tensor pinned, engine restarts are identical
+        to direct fits reading the same tensor."""
+        tensor = data.sample_tensor(16, seed=21)
+        seeds = [5, 6, 7]
+        direct = []
+        for s in seeds:
+            algo = BasicUKMeans(4, n_samples=16)
+            algo.sample_cache = tensor
+            direct.append(algo.fit(data, seed=s))
+        shared = BasicUKMeans(4, n_samples=16)
+        shared.sample_cache = tensor.copy()
+        engine = MultiRestartRunner(shared, n_init=1).run_all(data, seeds=seeds)
+        for d, e in zip(direct, engine):
+            np.testing.assert_array_equal(d.labels, e.labels)
+
+    def test_empty_seeds_rejected(self, data):
+        with pytest.raises(InvalidParameterError):
+            MultiRestartRunner(UKMeans(4)).run_all(data, seeds=[])
+
+    def test_sample_tensor_built_exactly_once(self, data, tensor_spy):
+        """Spy: a multi-run engine execution draws one shared tensor."""
+        runner = MultiRestartRunner(BasicUKMeans(4, n_samples=16), n_init=6)
+        runner.run_all(data, seed=2)
+        assert tensor_spy["count"] == 1
+
+
+class TestExperimentEngineRouting:
+    """The experiment runners route their per-run fits through the
+    engine; for moment-based algorithms the engine path must reproduce
+    the direct per-fit path measurement for measurement."""
+
+    def test_fit_runs_engine_matches_direct_for_moment_based(self, data):
+        from repro.engine import fit_runs
+        from repro.utils.rng import spawn_rngs
+
+        direct = fit_runs(UKMeans(4), data, spawn_rngs(7, 3), engine=False)
+        routed = fit_runs(UKMeans(4), data, spawn_rngs(7, 3), engine=True)
+        for d, e in zip(direct, routed):
+            np.testing.assert_array_equal(d.labels, e.labels)
+            assert d.objective == e.objective
+
+    def test_fit_runs_shares_tensor_for_sample_based(self, data, tensor_spy):
+        from repro.engine import fit_runs
+
+        results = fit_runs(
+            BasicUKMeans(4, n_samples=8), data, [0, 1, 2, 3], sample_seed=9
+        )
+        assert len(results) == 4
+        assert tensor_spy["count"] == 1
+
+    def test_fit_runs_shares_tensor_without_sample_seed(self, data, tensor_spy):
+        """Regression: sample_seed=None must still mean *one* shared
+        draw (from fresh entropy), not a per-restart draw."""
+        from repro.engine import fit_runs
+
+        fit_runs(BasicUKMeans(4, n_samples=8), data, [0, 1, 2])
+        assert tensor_spy["count"] == 1
+
+    def test_fit_runs_density_keeps_independent_draws(self, data, tensor_spy):
+        """FDBSCAN's only randomness is the draw: fit_runs must not pin
+        one tensor across its measurement runs (that would average n
+        copies of a single realization) — and with per-run draws the
+        engine path equals the direct path exactly."""
+        from repro.clustering import FDBSCAN
+        from repro.engine import fit_runs
+
+        routed = fit_runs(FDBSCAN(n_samples=8), data, [0, 1, 2], sample_seed=9)
+        assert tensor_spy["count"] == 3  # one independent draw per run
+        direct = fit_runs(FDBSCAN(n_samples=8), data, [0, 1, 2], engine=False)
+        for d, e in zip(direct, routed):
+            np.testing.assert_array_equal(d.labels, e.labels)
+        # Explicit opt-in to sharing is still possible (restart-style).
+        tensor_spy["count"] = 0
+        shared = fit_runs(
+            FDBSCAN(n_samples=8), data, [0, 1, 2], sample_seed=9,
+            share_samples=True,
+        )
+        assert tensor_spy["count"] == 1
+        for result in shared[1:]:
+            np.testing.assert_array_equal(shared[0].labels, result.labels)
+
+    def test_mixed_roster_seed_drift_regression(self):
+        """Regression: a sample-based algorithm earlier in the roster
+        must not shift the seeds of later moment-based cells across the
+        engine toggle (the shared-tensor stream is pre-spawned in both
+        modes)."""
+        from repro.experiments import ExperimentConfig, run_table3
+
+        kwargs = dict(
+            datasets=("neuroblastoma",),
+            cluster_counts=(2,),
+            algorithms=("FDB", "UKM", "MMV"),
+        )
+        routed = run_table3(
+            ExperimentConfig(scale=0.004, n_runs=2, seed=31, n_samples=8, engine=True),
+            **kwargs,
+        )
+        direct = run_table3(
+            ExperimentConfig(scale=0.004, n_runs=2, seed=31, n_samples=8, engine=False),
+            **kwargs,
+        )
+        for alg in ("UKM", "MMV"):
+            key = ("neuroblastoma", 2, alg)
+            assert routed.quality[key] == direct.quality[key]
+
+    def test_table2_engine_path_identical_incl_density(self):
+        """Moment-based algorithms consume no tensors; FDB/FOPT draw
+        per-run independent tensors from the same run seeds either way
+        — so the whole accuracy roster is engine/direct identical."""
+        from repro.experiments import ExperimentConfig, run_table2
+
+        kwargs = dict(
+            datasets=("iris",),
+            families=("normal",),
+            algorithms=("FDB", "FOPT", "UKM", "MMV"),
+        )
+        routed = run_table2(
+            ExperimentConfig(scale=0.08, n_runs=2, seed=42, n_samples=8, engine=True),
+            **kwargs,
+        )
+        direct = run_table2(
+            ExperimentConfig(scale=0.08, n_runs=2, seed=42, n_samples=8, engine=False),
+            **kwargs,
+        )
+        assert routed.cells.keys() == direct.cells.keys()
+        for key in routed.cells:
+            assert routed.cells[key].theta == direct.cells[key].theta
+            assert routed.cells[key].quality == direct.cells[key].quality
+
+    def test_table3_engine_path_identical_for_moment_based(self):
+        from repro.experiments import ExperimentConfig, run_table3
+
+        kwargs = dict(
+            datasets=("neuroblastoma",),
+            cluster_counts=(2, 3),
+            algorithms=("UKM", "MMV"),
+        )
+        routed = run_table3(
+            ExperimentConfig(scale=0.004, n_runs=2, seed=17, engine=True),
+            **kwargs,
+        )
+        direct = run_table3(
+            ExperimentConfig(scale=0.004, n_runs=2, seed=17, engine=False),
+            **kwargs,
+        )
+        assert routed.quality == direct.quality
+
+    def test_figure4_engine_path_measures_same_grid(self):
+        """Runtimes are wall-clock (not comparable value-for-value);
+        the engine path must measure the same (dataset, algorithm) grid
+        with positive on-line runtimes, including the density methods."""
+        from repro.experiments import ExperimentConfig, run_figure4
+
+        kwargs = dict(
+            datasets=("abalone",),
+            slow_group=("FDB", "FOPT"),
+            fast_group=("UKM",),
+            n_clusters=3,
+        )
+        routed = run_figure4(
+            ExperimentConfig(scale=0.01, n_runs=2, seed=8, n_samples=8, engine=True),
+            **kwargs,
+        )
+        direct = run_figure4(
+            ExperimentConfig(scale=0.01, n_runs=2, seed=8, n_samples=8, engine=False),
+            **kwargs,
+        )
+        assert routed.runtimes_ms.keys() == direct.runtimes_ms.keys()
+        assert all(v > 0 for v in routed.runtimes_ms.values())
+
+    def test_figure5_engine_path_measures_same_grid(self):
+        from repro.experiments import ExperimentConfig, run_figure5
+
+        kwargs = dict(fractions=(0.5, 1.0), algorithms=("UKM",), base_size=200)
+        routed = run_figure5(
+            ExperimentConfig(n_runs=1, seed=4, engine=True), **kwargs
+        )
+        direct = run_figure5(
+            ExperimentConfig(n_runs=1, seed=4, engine=False), **kwargs
+        )
+        assert routed.runtimes_ms.keys() == direct.runtimes_ms.keys()
+        assert routed.sizes == direct.sizes
+
+    def test_protocol_engine_path_identical_for_moment_based(self, data):
+        from repro.datagen.uncertainty_gen import UncertaintyGenerator
+        from repro.evaluation.protocol import evaluate_theta_multirun
+
+        points = data.mu_matrix
+        labels = data.labels
+        pair = UncertaintyGenerator(family="normal").generate(
+            points, labels, seed=0
+        )
+        routed = evaluate_theta_multirun(
+            UKMeans(4), pair, n_runs=3, seed=13, engine=True
+        )
+        direct = evaluate_theta_multirun(
+            UKMeans(4), pair, n_runs=3, seed=13, engine=False
+        )
+        assert routed.theta_mean == direct.theta_mean
+        assert routed.quality_mean == direct.quality_mean
 
 
 class TestFitBest:
