@@ -1,6 +1,6 @@
 """Benchmarks of the batch execution engine.
 
-Pins the three claims the engine layer makes:
+Pins the claims the engine layer makes:
 
 * :meth:`UncertainDataset.sample_tensor` beats the per-object sampling
   loop it replaced by a wide margin (the off-line phase of every
@@ -10,19 +10,30 @@ Pins the three claims the engine layer makes:
   cache cost far less than ``n_init`` independent fits;
 * the ported density clustering (batched sampling + blocked GEMM
   probability kernel) beats the pre-port per-object FDBSCAN — asserted
-  at >= 3x for n=1000, S=64.
+  at >= 3x for n=1000, S=64;
+* the ``threads`` execution backend runs 16 moment-based restarts at
+  paper scale (n=5000, m=16) >= 2x faster than ``serial`` on parallel
+  hardware — asserted when >= 4 cores are available.  The floor is
+  pinned on the moment-based roster (UK-means), whose per-iteration
+  kernels are large GIL-releasing numpy ops; UCPC's relocation sweep is
+  an inherently sequential per-object Python loop, so threads cannot
+  speed it up on CPython — it is measured alongside for the record (and
+  routed to the ``processes`` backend by the README's backend matrix).
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 
 import numpy as np
 import pytest
 
-from repro.clustering import FDBSCAN, BasicUKMeans, MinMaxBB, auto_eps
+from repro.clustering import FDBSCAN, UCPC, BasicUKMeans, MinMaxBB, UKMeans, auto_eps
 from repro.datagen import make_blobs_uncertain
 from repro.engine import MultiRestartRunner
+from repro.exceptions import ConvergenceWarning
 from repro.objects import UncertainDataset, UncertainObject
 from repro.utils.rng import ensure_rng
 
@@ -172,6 +183,96 @@ def test_density_legacy(benchmark, density_data):
     benchmark.group = "density-clustering"
     model = FDBSCAN(n_samples=DENSITY_S)
     benchmark(_legacy_fdbscan_fit, model, density_data, 0)
+
+
+# ----------------------------------------------------------------------
+# Execution backends: threaded restarts at paper scale.
+# ----------------------------------------------------------------------
+BACKEND_N = 5000
+BACKEND_M = 16
+BACKEND_RESTARTS = 16
+BACKEND_K = 8
+
+
+@pytest.fixture(scope="module")
+def backend_data():
+    """Paper-scale moment workload (n=5000, m=16 — Letter-sized rows)."""
+    return make_blobs_uncertain(
+        n_objects=BACKEND_N,
+        n_clusters=BACKEND_K,
+        n_attributes=BACKEND_M,
+        separation=3.0,
+        seed=19,
+    )
+
+
+def _timed_restarts(clusterer_factory, data, backend, n_jobs, repeats=2):
+    """Best-of-``repeats`` wall time of a 16-restart engine run."""
+    best_time = float("inf")
+    result = None
+    for _ in range(repeats):
+        runner = MultiRestartRunner(
+            clusterer_factory(),
+            n_init=BACKEND_RESTARTS,
+            n_jobs=n_jobs,
+            backend=backend,
+        )
+        start = time.perf_counter()
+        result = runner.run(data, seed=3)
+        best_time = min(best_time, time.perf_counter() - start)
+    return best_time, result
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="threads-vs-serial floor is only meaningful with >= 4 cores",
+)
+def test_threads_backend_speedup_floor(backend_data):
+    """Acceptance pin: threads >= 2x serial for 16 moment-based restarts
+    at n=5000, m=16 — NumPy's assignment/update kernels release the GIL,
+    so the threaded restarts scale without serializing anything.  The
+    results must also stay bit-identical (backend invariance)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        factory = lambda: UKMeans(BACKEND_K, max_iter=8)  # noqa: E731
+        serial_time, serial_result = _timed_restarts(
+            factory, backend_data, "serial", 1
+        )
+        threads_time, threads_result = _timed_restarts(
+            factory, backend_data, "threads", os.cpu_count() or 4
+        )
+    np.testing.assert_array_equal(serial_result.labels, threads_result.labels)
+    assert serial_result.objective == threads_result.objective
+    speedup = serial_time / threads_time
+    assert speedup >= 2.0, (
+        f"threads backend speedup {speedup:.2f}x below the 2x floor "
+        f"(serial {serial_time:.2f} s, threads {threads_time:.2f} s)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel-backend comparison is only meaningful with >= 4 cores",
+)
+def test_ucpc_threads_comparison_informational(backend_data):
+    """16 UCPC restarts, threads vs serial, measured for the record.
+
+    UCPC's relocation sweep is a sequential per-object Python loop over
+    k-sized arrays — interpreter-bound, so the GIL caps the threads
+    backend near 1x for it (that is *why* the backend matrix routes
+    UCPC to processes).  No speedup floor is asserted; the run still
+    pins backend invariance of the results at paper scale."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        factory = lambda: UCPC(BACKEND_K, max_iter=2)  # noqa: E731
+        _, serial_result = _timed_restarts(
+            factory, backend_data, "serial", 1, repeats=1
+        )
+        _, threads_result = _timed_restarts(
+            factory, backend_data, "threads", os.cpu_count() or 4, repeats=1
+        )
+    np.testing.assert_array_equal(serial_result.labels, threads_result.labels)
+    assert serial_result.objective == threads_result.objective
 
 
 def test_density_speedup_floor(density_data):

@@ -1,0 +1,232 @@
+"""Run the pinned engine benchmarks and emit a machine-readable JSON.
+
+This is the perf-trajectory seed: every CI run executes the same fixed
+measurement roster and uploads ``BENCH_engine.json`` as an artifact, so
+regressions (and wins) in the engine layer are visible across commits
+without digging through pytest-benchmark output.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full sizes
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --output out.json
+
+The measurement roster mirrors ``benchmarks/bench_engine.py``:
+
+* batched ``sample_tensor`` vs the per-object sampling loop;
+* multi-restart engine with shared vs fresh sample tensors;
+* ported FDBSCAN end-to-end fit;
+* the execution backends (serial / threads / processes) driving the
+  same moment-based restart workload;
+* UAHC's vectorized proximity agglomeration.
+
+Timings are best-of-``repeats`` wall clock; the JSON also records the
+machine shape (cores, python, numpy) so numbers are comparable only
+within like-for-like runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import warnings
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.clustering import FDBSCAN, UAHC, UKMeans, BasicUKMeans
+from repro.datagen import make_blobs_uncertain
+from repro.engine import MultiRestartRunner
+from repro.exceptions import ConvergenceWarning
+from repro.objects import UncertainDataset, UncertainObject
+from repro.utils.rng import ensure_rng
+
+#: Bumped whenever a measurement's name or meaning changes.
+SCHEMA_VERSION = 1
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _uniform_dataset(n_objects: int, seed: int = 11) -> UncertainDataset:
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 10.0, size=(n_objects, 2))
+    widths = rng.uniform(0.2, 2.0, size=(n_objects, 2))
+    return UncertainDataset(
+        [
+            UncertainObject.uniform_box(centers[i], widths[i], label=0)
+            for i in range(n_objects)
+        ]
+    )
+
+
+def _per_object_loop(dataset, n_samples, seed):
+    rng = ensure_rng(seed)
+    out = np.empty((len(dataset), n_samples, dataset.dim))
+    for idx, obj in enumerate(dataset):
+        out[idx] = obj.sample(n_samples, rng)
+    return out
+
+
+def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
+    """Execute the fixed roster; returns one record per measurement."""
+    repeats = 2 if quick else 3
+    scale = 0.25 if quick else 1.0
+    records: List[Dict[str, object]] = []
+
+    def record(name: str, seconds: float, **meta) -> None:
+        records.append({"name": name, "seconds": seconds, **meta})
+
+    # --- off-line sampling -------------------------------------------
+    n_sampling = int(2000 * scale)
+    n_samples = 64
+    sampling_data = _uniform_dataset(n_sampling)
+    sampling_data.sample_tensor(n_samples, 0)  # warm the plan cache
+    batched = _best_of(lambda: sampling_data.sample_tensor(n_samples, 0), repeats)
+    looped = _best_of(
+        lambda: _per_object_loop(sampling_data, n_samples, 0), repeats
+    )
+    record(
+        "sample_tensor_batched",
+        batched,
+        n=n_sampling,
+        S=n_samples,
+        speedup=looped / batched,
+    )
+    record("sample_tensor_per_object", looped, n=n_sampling, S=n_samples)
+
+    # --- multi-restart engine ----------------------------------------
+    n_restart = int(400 * scale)
+    restart_data = make_blobs_uncertain(
+        n_objects=n_restart, n_clusters=4, separation=4.0, seed=11
+    )
+    shared = _best_of(
+        lambda: MultiRestartRunner(
+            BasicUKMeans(4, n_samples=32), n_init=5, share_samples=True
+        ).run(restart_data, 0),
+        repeats,
+    )
+    fresh = _best_of(
+        lambda: MultiRestartRunner(
+            BasicUKMeans(4, n_samples=32), n_init=5, share_samples=False
+        ).run(restart_data, 0),
+        repeats,
+    )
+    record("multi_restart_shared_cache", shared, n=n_restart, n_init=5)
+    record("multi_restart_fresh_samples", fresh, n=n_restart, n_init=5)
+
+    # --- density clustering ------------------------------------------
+    n_density = int(1000 * scale)
+    density_data = make_blobs_uncertain(
+        n_objects=n_density, n_clusters=5, n_attributes=16, seed=7
+    )
+    model = FDBSCAN(n_samples=64)
+    model.fit(density_data, seed=0)  # warm
+    record(
+        "fdbscan_ported_fit",
+        _best_of(lambda: model.fit(density_data, seed=0), repeats),
+        n=n_density,
+        S=64,
+        m=16,
+    )
+
+    # --- execution backends ------------------------------------------
+    n_backend = int(2000 * scale)
+    backend_data = make_blobs_uncertain(
+        n_objects=n_backend, n_clusters=8, n_attributes=16, separation=3.0,
+        seed=19,
+    )
+    jobs = min(4, os.cpu_count() or 1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        for backend, n_jobs in (
+            ("serial", 1),
+            ("threads", jobs),
+            ("processes", jobs),
+        ):
+            seconds = _best_of(
+                lambda: MultiRestartRunner(
+                    UKMeans(8, max_iter=8),
+                    n_init=8,
+                    n_jobs=n_jobs,
+                    backend=backend,
+                ).run(backend_data, seed=3),
+                repeats,
+            )
+            record(
+                f"backend_{backend}_ukmeans_restarts",
+                seconds,
+                n=n_backend,
+                m=16,
+                n_init=8,
+                n_jobs=n_jobs,
+            )
+
+    # --- hierarchical ------------------------------------------------
+    n_uahc = int(300 * scale)
+    uahc_data = make_blobs_uncertain(
+        n_objects=max(n_uahc, 20), n_clusters=4, n_attributes=5, seed=3
+    )
+    record(
+        "uahc_jeffreys_fit",
+        _best_of(lambda: UAHC(4, linkage="jeffreys").fit(uahc_data), repeats),
+        n=len(uahc_data),
+        m=5,
+    )
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the pinned engine benchmarks, emit JSON."
+    )
+    parser.add_argument(
+        "--output", default="BENCH_engine.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="quarter-size datasets, fewer repeats (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    records = run_benchmarks(quick=args.quick)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "quick": args.quick,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "benchmarks": records,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    for entry in records:
+        extra = (
+            f"  (speedup {entry['speedup']:.1f}x)" if "speedup" in entry else ""
+        )
+        print(f"{entry['name']:35s} {entry['seconds'] * 1e3:9.1f} ms{extra}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

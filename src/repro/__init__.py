@@ -49,7 +49,7 @@ from repro.evaluation import (
     internal_scores,
     quality_score,
 )
-from repro.engine import MultiRestartRunner, RestartRecord
+from repro.engine import EarlyStopping, MultiRestartRunner, RestartRecord
 from repro.exceptions import ReproError
 from repro.objects import (
     UncertainDataset,
@@ -103,6 +103,7 @@ __all__ = [
     "internal_scores",
     "quality_score",
     # engine
+    "EarlyStopping",
     "MultiRestartRunner",
     "RestartRecord",
     # errors

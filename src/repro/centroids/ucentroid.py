@@ -55,14 +55,16 @@ class UCentroid:
 
         # Lemma 5: mu(C̄) = (1/n) sum_i mu(o_i);
         # mu2(C̄) = (1/n^2) [ sum_i mu2(o_i) + 2 sum_{i<i'} mu(o_i) mu(o_i') ].
+        # The member moments are stacked once and reduced along the
+        # leading axis — ufunc reduction over the outer axis accumulates
+        # row by row, so the sums are bit-identical to the per-member
+        # loop they replace (pinned in ``tests/test_centroids.py``).
         count = len(self._members)
-        mu_sum = np.zeros(self._members[0].dim)
-        mu2_sum = np.zeros_like(mu_sum)
-        mu_sq_sum = np.zeros_like(mu_sum)
-        for obj in self._members:
-            mu_sum += obj.mu
-            mu2_sum += obj.mu2
-            mu_sq_sum += obj.mu**2
+        mu_stack = np.stack([obj.mu for obj in self._members])
+        mu2_stack = np.stack([obj.mu2 for obj in self._members])
+        mu_sum = mu_stack.sum(axis=0)
+        mu2_sum = mu2_stack.sum(axis=0)
+        mu_sq_sum = (mu_stack**2).sum(axis=0)
         # 2 sum_{i<i'} mu_i mu_i' = (sum_i mu_i)^2 - sum_i mu_i^2
         cross = mu_sum**2 - mu_sq_sum
         self._mu = mu_sum / count

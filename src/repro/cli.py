@@ -54,6 +54,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--spread", type=float, default=1.0, help="uncertainty magnitude"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes"],
+        default="serial",
+        help="execution backend for the per-run fits (result-identical)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="workers for the threads/processes backends",
+    )
 
 
 def _config(args: argparse.Namespace, **overrides) -> ExperimentConfig:
@@ -64,6 +76,8 @@ def _config(args: argparse.Namespace, **overrides) -> ExperimentConfig:
         n_runs=args.runs,
         seed=args.seed,
         spread=args.spread,
+        backend=args.backend,
+        n_jobs=args.jobs,
     )
     values.update(overrides)
     return ExperimentConfig(**values)
@@ -157,7 +171,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         # so best-of-n would burn n fits and keep the first — skip it.
         if args.n_init > 1 and algorithm.has_objective:
             result = algorithm.fit_best(
-                data, seed=args.seed, n_init=args.n_init, n_jobs=args.jobs
+                data,
+                seed=args.seed,
+                n_init=args.n_init,
+                n_jobs=args.jobs,
+                backend=args.backend,
+                early_stopping=args.patience,
             )
         else:
             result = algorithm.fit(data, seed=args.seed)
@@ -241,7 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the restarts (1 = sequential)",
+        help="workers for the restarts (1 = sequential)",
+    )
+    pd.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="execution backend (default: serial, or processes when "
+        "--jobs > 1)",
+    )
+    pd.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        help="stop scheduling restarts after this many without "
+        "improvement (engine-level early stopping)",
     )
     pd.set_defaults(func=_cmd_demo)
 

@@ -131,18 +131,29 @@ class UncertainClusterer(abc.ABC):
         seed: SeedLike = None,
         n_init: int = 10,
         n_jobs: int = 1,
+        backend=None,
+        early_stopping=None,
     ) -> ClusteringResult:
         """Best-of-``n_init`` restarts via the multi-restart engine.
 
         Convenience wrapper around
         :class:`repro.engine.MultiRestartRunner`: restarts share the
         dataset's moment cache and (for sample-based algorithms) one
-        precomputed sample tensor, run sequentially or process-parallel
-        (``n_jobs``), and the lowest-objective result wins.
+        precomputed sample tensor, execute on the chosen backend
+        (``"serial"``, ``"threads"`` or ``"processes"``; ``None`` maps
+        ``n_jobs`` to the historical serial/process choice), optionally
+        stop early once ``early_stopping`` restarts bring no
+        improvement, and the lowest-objective result wins.
         """
         from repro.engine import MultiRestartRunner
 
-        runner = MultiRestartRunner(self, n_init=n_init, n_jobs=n_jobs)
+        runner = MultiRestartRunner(
+            self,
+            n_init=n_init,
+            n_jobs=n_jobs,
+            backend=backend,
+            early_stopping=early_stopping,
+        )
         return runner.run(dataset, seed=seed)
 
     def __repr__(self) -> str:

@@ -40,6 +40,12 @@ from repro.utils.timer import Stopwatch
 #: Variance floor for the Gaussian approximations (point masses).
 _VAR_FLOOR = 1e-9
 
+#: Element budget for one `(rows, n, m)` broadcast block of the initial
+#: all-pairs proximity — bounds the temporaries to a few MB so the
+#: vectorized kernel stays cache-resident (same idiom as
+#: ``DENSITY_BLOCK_ELEMENTS`` in :mod:`repro.clustering._density`).
+_PROXIMITY_BLOCK_ELEMENTS = 1 << 19
+
 
 @dataclass(frozen=True)
 class MergeStep:
@@ -113,7 +119,12 @@ class UAHC(UncertainClusterer):
         active = np.ones(n, dtype=bool)
         membership = np.arange(n)
 
-        prox = self._full_proximity(mu_sum, mu2_sum, counts)
+        # Gaussian fits of every cluster mixture, maintained
+        # incrementally: a merge touches only the absorbing cluster's
+        # sums, so only that one row of (mix_mu, mix_var) is refreshed
+        # per step instead of refitting all n clusters.
+        mix_mu, mix_var = self._gaussian_parameters(mu_sum, mu2_sum, counts)
+        prox = self._full_proximity(mix_mu, mix_var)
         np.fill_diagonal(prox, np.inf)
 
         merges: List[MergeStep] = []
@@ -133,13 +144,21 @@ class UAHC(UncertainClusterer):
             merges.append(
                 MergeStep(left=a, right=b, height=height, size=int(counts[a]))
             )
-            # Retire b and refresh a's proximities against all survivors.
+            # Retire b; refit the merged cluster's Gaussian (same
+            # elementwise operations as `_gaussian_parameters`, applied
+            # to the one changed row) and refresh its proximities.
             prox[b, :] = np.inf
             prox[:, b] = np.inf
-            row = self._proximity_row(mu_sum, mu2_sum, counts, active, a)
+            inv = 1.0 / float(counts[a])
+            mix_mu[a] = mu_sum[a] * inv
+            mix_var[a] = np.maximum(
+                mu2_sum[a] * inv - mix_mu[a] ** 2, _VAR_FLOOR
+            )
+            row = self._row_against(mix_mu, mix_var, a)
+            row[~active] = np.inf
+            row[a] = np.inf
             prox[a, :] = row
             prox[:, a] = row
-            prox[a, a] = np.inf
             n_active -= 1
 
         # Compact the surviving cluster ids to 0..k-1.
@@ -158,29 +177,34 @@ class UAHC(UncertainClusterer):
         mix_var = np.maximum(mix_mu2 - mix_mu**2, _VAR_FLOOR)
         return mix_mu, mix_var
 
-    def _full_proximity(
-        self, mu_sum: np.ndarray, mu2_sum: np.ndarray, counts: np.ndarray
-    ) -> np.ndarray:
-        mu, var = self._gaussian_parameters(mu_sum, mu2_sum, counts)
-        n = mu.shape[0]
-        prox = np.empty((n, n))
-        for i in range(n):
-            prox[i] = self._row_against(mu, var, i)
-        return prox
+    def _full_proximity(self, mu: np.ndarray, var: np.ndarray) -> np.ndarray:
+        """All-pairs proximity via a blocked full-matrix broadcast.
 
-    def _proximity_row(
-        self,
-        mu_sum: np.ndarray,
-        mu2_sum: np.ndarray,
-        counts: np.ndarray,
-        active: np.ndarray,
-        target: int,
-    ) -> np.ndarray:
-        mu, var = self._gaussian_parameters(mu_sum, mu2_sum, counts)
-        row = self._row_against(mu, var, target)
-        row[~active] = np.inf
-        row[target] = np.inf
-        return row
+        Evaluates the same elementwise formula as :meth:`_row_against`
+        over ``(rows, n, m)`` expansions — row blocks sized by
+        ``_PROXIMITY_BLOCK_ELEMENTS`` so the temporaries stay
+        cache-resident — and reduces the contiguous trailing axis.
+        Every entry is bit-identical to the per-row loop it replaces;
+        the dendrogram regression in
+        ``tests/test_density_hierarchical.py`` pins this.
+        """
+        n, m = mu.shape
+        rows = max(1, _PROXIMITY_BLOCK_ELEMENTS // max(1, n * m))
+        prox = np.empty((n, n))
+        sums = None if self.linkage == "jeffreys" else var.sum(axis=1)
+        for start in range(0, n, rows):
+            stop = min(n, start + rows)
+            diff_sq = (mu[None, :, :] - mu[start:stop, None, :]) ** 2
+            if self.linkage == "jeffreys":
+                term = (var[None, :, :] + diff_sq) / var[
+                    start:stop, None, :
+                ] + (var[start:stop, None, :] + diff_sq) / var[None, :, :]
+                prox[start:stop] = 0.5 * (term - 2.0).sum(axis=2)
+            else:
+                prox[start:stop] = (
+                    sums[None, :] + sums[start:stop, None] + diff_sq.sum(axis=2)
+                )
+        return prox
 
     def _row_against(
         self, mu: np.ndarray, var: np.ndarray, target: int

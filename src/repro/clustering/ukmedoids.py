@@ -97,23 +97,44 @@ class UKMedoids(UncertainClusterer):
         watch = Stopwatch()
         iterations = 0
         converged = False
+        reseeded = 0
         with watch.running():
             assignment = np.argmin(distances[:, medoids], axis=1).astype(np.int64)
             for _ in range(self.max_iter):
                 iterations += 1
                 new_medoids = medoids.copy()
+                reseed_taken = np.zeros(n, dtype=bool)
                 for c in range(k):
                     members = np.flatnonzero(assignment == c)
                     if members.size == 0:
-                        # Reseed an empty cluster with the overall worst
-                        # assigned object.
+                        # Reseed an empty cluster with the worst-served
+                        # object that is not already a medoid — picking
+                        # a current (or freshly chosen) medoid would
+                        # silently collapse the clustering to k-1
+                        # distinct medoids.
                         own_cost = distances[
                             np.arange(n), medoids[assignment]
-                        ]
-                        new_medoids[c] = int(np.argmax(own_cost))
+                        ].copy()
+                        own_cost[medoids] = -np.inf
+                        own_cost[new_medoids] = -np.inf
+                        candidate = int(np.argmax(own_cost))
+                        if own_cost[candidate] == -np.inf:
+                            # Every object is already a medoid (k == n);
+                            # keep the old medoid for this cluster.
+                            continue
+                        new_medoids[c] = candidate
+                        reseed_taken[candidate] = True
+                        reseeded += 1
                         continue
-                    # Medoid = member minimizing summed ÊD within the cluster.
+                    # Medoid = member minimizing summed ÊD within the
+                    # cluster, skipping members an earlier empty cluster
+                    # just took as its reseed target (the same collapse
+                    # hazard from the other direction).
                     within = distances[np.ix_(members, members)].sum(axis=1)
+                    free = ~reseed_taken[members]
+                    if free.any():
+                        members = members[free]
+                        within = within[free]
                     new_medoids[c] = int(members[np.argmin(within)])
                 new_assignment = np.argmin(
                     distances[:, new_medoids], axis=1
@@ -140,5 +161,5 @@ class UKMedoids(UncertainClusterer):
             n_iterations=iterations,
             converged=converged,
             runtime_seconds=watch.elapsed_seconds,
-            extras={"medoids": medoids.tolist()},
+            extras={"medoids": medoids.tolist(), "reseeded": reseeded},
         )

@@ -3,9 +3,34 @@
 The clustering modules implement one run of one algorithm; this
 subpackage implements how production workloads actually invoke them —
 many random restarts over a shared precomputed moment/sample cache,
-sequentially or process-parallel, keeping the best result by objective.
+keeping the best result by objective.  Execution is pluggable
+(:mod:`repro.engine.backends`): serial, thread pool (GIL-releasing
+NumPy kernels, zero serialization) or process pool (moment matrices
+and the sample tensor published once via shared memory), all
+bit-identical for fixed seeds, with optional engine-level early
+stopping across restarts.
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    EarlyStopping,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
 from repro.engine.runner import MultiRestartRunner, RestartRecord, fit_runs
 
-__all__ = ["MultiRestartRunner", "RestartRecord", "fit_runs"]
+__all__ = [
+    "BACKEND_NAMES",
+    "EarlyStopping",
+    "ExecutionBackend",
+    "MultiRestartRunner",
+    "ProcessBackend",
+    "RestartRecord",
+    "SerialBackend",
+    "ThreadBackend",
+    "fit_runs",
+    "get_backend",
+]

@@ -1,0 +1,426 @@
+"""Pluggable execution backends for the multi-restart engine.
+
+The engine's restarts are embarrassingly parallel, but *how* they should
+execute depends on the algorithm family:
+
+* **serial** — one restart after another in the calling process.  The
+  right choice for quick fits and the reference semantics every other
+  backend must reproduce bit-for-bit.
+* **threads** — a ``ThreadPoolExecutor`` sharing the process address
+  space.  NumPy's kernels release the GIL, so moment-based fits
+  (UK-means, MMVar, UCPC) scale across cores *without serializing a
+  single byte*: every restart reads the same moment matrices and sample
+  tensor in place.
+* **processes** — a ``ProcessPoolExecutor`` for fits whose Python-level
+  bookkeeping would serialize on the GIL.  The dataset's stacked moment
+  matrices and the engine's batched ``(n, S, m)`` sample tensor are
+  published **once** through :mod:`multiprocessing.shared_memory`;
+  workers attach to the blocks by name instead of receiving pickled
+  copies, so the per-restart (and per-worker) pickling cost no longer
+  grows with ``n·S·m``.
+
+Determinism contract
+--------------------
+``ExecutionBackend.run`` consumes completed restarts strictly in
+*submission order* (seed order), and the optional early-stopping rule is
+evaluated on that ordered stream.  Out-of-order completion in a pool can
+therefore never change which restarts are kept: for a fixed seed list,
+every backend returns the identical result prefix, and the engine's
+best-of selection is bit-identical across ``serial``/``threads``/
+``processes`` — the backend-invariance tests pin this.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.clustering.base import ClusteringResult, UncertainClusterer
+from repro.exceptions import InvalidParameterError
+from repro.objects.dataset import UncertainDataset
+
+#: Names accepted by :func:`get_backend` (and the ``backend=`` knobs of
+#: the runner, the experiment configs and the CLI).
+BACKEND_NAMES = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class EarlyStopping:
+    """Engine-level early stopping across restarts.
+
+    Stop *scheduling* new restarts once the best objective seen so far
+    has not improved for ``patience`` consecutive completed restarts,
+    evaluated in submission (seed) order.  Restarts beyond the stopping
+    point are never part of the result, even if a parallel backend had
+    already started them — so the selected best run is identical for
+    every backend.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving restarts tolerated before
+        the engine stops scheduling further ones.
+    min_improvement:
+        Absolute objective decrease below which a restart counts as
+        non-improving (0.0 = any strict decrease resets the counter).
+    """
+
+    patience: int
+    min_improvement: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise InvalidParameterError(
+                f"patience must be >= 1, got {self.patience}"
+            )
+        if self.min_improvement < 0.0:
+            raise InvalidParameterError(
+                f"min_improvement must be >= 0, got {self.min_improvement}"
+            )
+
+
+class _StopClock:
+    """Applies an :class:`EarlyStopping` rule to a submission-order stream."""
+
+    def __init__(self, rule: Optional[EarlyStopping]):
+        self.rule = rule
+        self.best = float("inf")
+        self.stale = 0
+
+    def should_stop(self, objective: float) -> bool:
+        """Record one completed restart; True = stop scheduling more.
+
+        NaN objectives (objective-less algorithms) never improve, so
+        with early stopping enabled they exhaust ``patience`` quickly —
+        the runner already warns that such restarts cannot be ranked.
+        """
+        if self.rule is None:
+            return False
+        objective = float(objective)
+        if not np.isnan(objective) and (
+            objective < self.best - self.rule.min_improvement
+        ):
+            self.best = objective
+            self.stale = 0
+        else:
+            self.stale += 1
+        return self.stale >= self.rule.patience
+
+
+class ExecutionBackend(abc.ABC):
+    """How the engine maps restart seeds to :class:`ClusteringResult`.
+
+    Implementations must preserve the determinism contract documented in
+    the module docstring: results come back in seed order, truncated at
+    the point the early-stopping rule fires on the ordered stream.
+    """
+
+    #: Identifier recorded in the winning result's ``extras``.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        clusterer: UncertainClusterer,
+        dataset: UncertainDataset,
+        seeds: Sequence[int],
+        early_stopping: Optional[EarlyStopping] = None,
+    ) -> List[ClusteringResult]:
+        """Fit one restart per seed; return results in seed order."""
+
+
+def _run_serially(
+    clusterer: UncertainClusterer,
+    dataset: UncertainDataset,
+    seeds: Sequence[int],
+    early_stopping: Optional[EarlyStopping],
+) -> List[ClusteringResult]:
+    clock = _StopClock(early_stopping)
+    results: List[ClusteringResult] = []
+    for seed in seeds:
+        result = clusterer.fit(dataset, seed=seed)
+        results.append(result)
+        if clock.should_stop(result.objective):
+            break
+    return results
+
+
+def _drive_pool(
+    submit: Callable[[int], Future],
+    seeds: Sequence[int],
+    early_stopping: Optional[EarlyStopping],
+    window: int,
+) -> List[ClusteringResult]:
+    """Bounded-window pool driver with submission-order consumption.
+
+    At most ``window`` restarts are in flight; completions are consumed
+    strictly in submission order so the early-stopping decision — and
+    hence the returned prefix — cannot depend on pool scheduling.  Once
+    the rule fires, queued-but-unstarted restarts are cancelled and
+    anything already running is discarded.
+
+    Callers pass ``window=len(seeds)`` when no early stopping is active
+    (everything is submitted upfront and the executor keeps all workers
+    busy); the narrow ``window=workers`` is only worth its head-of-line
+    submission gap when it bounds the work wasted past a stop decision.
+    """
+    seeds = list(seeds)
+    clock = _StopClock(early_stopping)
+    results: List[ClusteringResult] = []
+    in_flight: deque[Future] = deque()
+    next_idx = 0
+    while next_idx < len(seeds) and len(in_flight) < window:
+        in_flight.append(submit(seeds[next_idx]))
+        next_idx += 1
+    while in_flight:
+        result = in_flight.popleft().result()
+        results.append(result)
+        if clock.should_stop(result.objective):
+            for future in in_flight:
+                future.cancel()
+            break
+        if next_idx < len(seeds):
+            in_flight.append(submit(seeds[next_idx]))
+            next_idx += 1
+    return results
+
+
+class SerialBackend(ExecutionBackend):
+    """Sequential in-process execution — the reference semantics."""
+
+    name = "serial"
+
+    def run(self, clusterer, dataset, seeds, early_stopping=None):
+        return _run_serially(clusterer, dataset, seeds, early_stopping)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution over the shared address space.
+
+    Nothing is serialized: every worker thread calls
+    ``clusterer.fit(dataset, seed)`` on the *same* objects, reading the
+    shared moment matrices and (for sample-based algorithms) the pinned
+    sample tensor in place.  Fits are instance-state-free, and NumPy
+    releases the GIL inside its kernels, so moment-based algorithms
+    scale with cores while Python-loop-heavy fits degrade gracefully to
+    roughly serial speed.
+    """
+
+    name = "threads"
+
+    def __init__(self, n_jobs: int):
+        if n_jobs < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+
+    def run(self, clusterer, dataset, seeds, early_stopping=None):
+        if self.n_jobs == 1 or len(seeds) == 1:
+            return _run_serially(clusterer, dataset, seeds, early_stopping)
+        workers = min(self.n_jobs, len(seeds))
+        window = workers if early_stopping is not None else len(seeds)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return _drive_pool(
+                lambda s: pool.submit(clusterer.fit, dataset, seed=s),
+                seeds,
+                early_stopping,
+                window=window,
+            )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing for the process backend
+# ----------------------------------------------------------------------
+#: (shm name, shape, dtype string) — everything a worker needs to attach.
+_ShmSpec = Tuple[str, Tuple[int, ...], str]
+
+
+class _SharedNDArray:
+    """An ndarray published once in a :class:`SharedMemory` block."""
+
+    def __init__(self, array: np.ndarray):
+        array = np.ascontiguousarray(array)
+        self.shape = array.shape
+        self.dtype = array.dtype.str
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self.shm.buf)
+        view[...] = array
+
+    @property
+    def spec(self) -> _ShmSpec:
+        return (self.shm.name, self.shape, self.dtype)
+
+    def destroy(self) -> None:
+        """Close and unlink the block (idempotent)."""
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+def _attach_shared(spec: _ShmSpec) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Worker-side attach: a read-only ndarray view over the named block.
+
+    The parent owns the block's lifecycle (``_SharedNDArray.destroy``),
+    so on Python >= 3.13 the attach opts out of resource tracking.  On
+    older versions pool workers share the parent's tracker process and
+    its name registry is a set, so the attach-side registration dedupes
+    against the parent's own and the parent's ``unlink`` retires the
+    name exactly once — workers must *not* unregister manually, which
+    would strip the parent's entry instead.
+    """
+    name, shape, dtype = spec
+    try:  # Python >= 3.13
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+    array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    array.setflags(write=False)
+    return shm, array
+
+
+#: Per-worker-process state installed by :func:`_init_shared_worker`.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_shared_worker(payload: Dict[str, object]) -> None:
+    """Pool initializer: rebuild the dataset/clusterer around shared blocks.
+
+    Runs once per worker process.  The pickled parts are the light ones
+    (hyperparameters, distribution objects); every large array — moment
+    matrices and the sample tensor — arrives as a shared-memory spec and
+    is attached, not copied.
+    """
+    shms = []
+    views = {}
+    for key, spec in payload["moments"].items():
+        shm, view = _attach_shared(spec)
+        shms.append(shm)
+        views[key] = view
+    objects, labels = pickle.loads(payload["dataset"])
+    dataset = UncertainDataset._from_shared_moments(
+        objects, labels, views["mu"], views["mu2"], views["sigma2"]
+    )
+    clusterer = pickle.loads(payload["clusterer"])
+    if payload["sample"] is not None:
+        shm, tensor = _attach_shared(payload["sample"])
+        shms.append(shm)
+        clusterer.sample_cache = tensor
+    # Keep the SharedMemory handles referenced for the process lifetime;
+    # dropping them would invalidate the array views' buffers.
+    _WORKER_STATE["shms"] = shms
+    _WORKER_STATE["clusterer"] = clusterer
+    _WORKER_STATE["dataset"] = dataset
+
+
+def _fit_shared(seed: int) -> ClusteringResult:
+    return _WORKER_STATE["clusterer"].fit(_WORKER_STATE["dataset"], seed=seed)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution over shared-memory tensors.
+
+    Publication happens once per ``run``: the dataset's ``(n, m)``
+    moment matrices and — when the engine pinned one — the ``(n, S, m)``
+    sample tensor go into shared-memory blocks; workers attach by name.
+    The clusterer is pickled with its ``sample_cache`` stripped, so the
+    big tensor is never serialized (the backend tests assert this with
+    a pickle spy).  All blocks are unlinked when the run finishes,
+    including when a worker crashes.
+    """
+
+    name = "processes"
+
+    def __init__(self, n_jobs: int):
+        if n_jobs < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+        #: Specs of the most recent run's blocks — exposed so tests can
+        #: verify they were unlinked.
+        self.last_shared_specs: List[_ShmSpec] = []
+
+    def run(self, clusterer, dataset, seeds, early_stopping=None):
+        if self.n_jobs == 1 or len(seeds) == 1:
+            return _run_serially(clusterer, dataset, seeds, early_stopping)
+        workers = min(self.n_jobs, len(seeds))
+        blocks: List[_SharedNDArray] = []
+        try:
+            moments = {
+                "mu": _SharedNDArray(dataset.mu_matrix),
+                "mu2": _SharedNDArray(dataset.mu2_matrix),
+                "sigma2": _SharedNDArray(dataset.sigma2_matrix),
+            }
+            blocks.extend(moments.values())
+            tensor = getattr(clusterer, "sample_cache", None)
+            sample_block = None
+            if tensor is not None:
+                sample_block = _SharedNDArray(np.asarray(tensor))
+                blocks.append(sample_block)
+            payload = {
+                "clusterer": self._pickle_without_cache(clusterer),
+                "dataset": pickle.dumps(dataset._moment_free_state()),
+                "moments": {key: blk.spec for key, blk in moments.items()},
+                "sample": None if sample_block is None else sample_block.spec,
+            }
+            self.last_shared_specs = [blk.spec for blk in blocks]
+            window = workers if early_stopping is not None else len(seeds)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_shared_worker,
+                initargs=(payload,),
+            ) as pool:
+                return _drive_pool(
+                    lambda s: pool.submit(_fit_shared, s),
+                    seeds,
+                    early_stopping,
+                    window=window,
+                )
+        finally:
+            for block in blocks:
+                block.destroy()
+
+    @staticmethod
+    def _pickle_without_cache(clusterer: UncertainClusterer) -> bytes:
+        """Pickle the clusterer with its sample tensor detached."""
+        cache = getattr(clusterer, "sample_cache", None)
+        if cache is None:
+            return pickle.dumps(clusterer)
+        clusterer.sample_cache = None
+        try:
+            return pickle.dumps(clusterer)
+        finally:
+            clusterer.sample_cache = cache
+
+
+#: A backend argument: a name, an instance, or None (= legacy mapping).
+BackendLike = Union[str, ExecutionBackend, None]
+
+
+def get_backend(backend: BackendLike, n_jobs: int = 1) -> ExecutionBackend:
+    """Resolve a backend spec to an :class:`ExecutionBackend` instance.
+
+    ``None`` keeps the runner's historical behavior: serial for
+    ``n_jobs == 1``, the process pool otherwise.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "serial" if n_jobs == 1 else "processes"
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "threads":
+        return ThreadBackend(n_jobs)
+    if backend == "processes":
+        return ProcessBackend(n_jobs)
+    raise InvalidParameterError(
+        f"unknown backend {backend!r}; known: {BACKEND_NAMES}"
+    )

@@ -13,16 +13,19 @@ expensive, restart-invariant work out of the loop:
   algorithms (those exposing ``n_samples``/``sample_cache``), so ``S``
   Monte-Carlo draws per object happen once instead of once per restart.
 
-Restarts are independent, so with ``n_jobs > 1`` they execute in a
-``concurrent.futures`` process pool; per-restart seeds are spawned up
-front from one seed sequence, making results identical for sequential
-and parallel execution.
+Restarts are independent, so they execute through a pluggable
+:class:`~repro.engine.backends.ExecutionBackend` — serial, thread pool
+(nothing serialized; NumPy kernels release the GIL) or process pool
+(moment matrices and the sample tensor published once via shared
+memory).  Per-restart seeds are spawned up front from one seed
+sequence and completions are consumed in submission order, making
+results identical for every backend — including with engine-level
+early stopping enabled.
 """
 
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
@@ -30,6 +33,7 @@ import numpy as np
 
 from repro._typing import SeedLike
 from repro.clustering.base import ClusteringResult, UncertainClusterer
+from repro.engine.backends import BackendLike, EarlyStopping, get_backend
 from repro.exceptions import InvalidParameterError
 from repro.objects.dataset import UncertainDataset
 
@@ -63,28 +67,6 @@ def _spawn_seeds(seed: SeedLike, count: int) -> List[int]:
     ]
 
 
-def _fit_one(
-    clusterer: UncertainClusterer, dataset: UncertainDataset, seed: int
-) -> ClusteringResult:
-    """Sequential-path entry point: one restart."""
-    return clusterer.fit(dataset, seed=seed)
-
-
-# Worker-process state: the clusterer (with any shared sample cache) and
-# the dataset are pickled once per worker via the pool initializer, not
-# once per restart — the sample tensor can be large.
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(clusterer: UncertainClusterer, dataset: UncertainDataset) -> None:
-    _WORKER_STATE["clusterer"] = clusterer
-    _WORKER_STATE["dataset"] = dataset
-
-
-def _fit_in_worker(seed: int) -> ClusteringResult:
-    return _WORKER_STATE["clusterer"].fit(_WORKER_STATE["dataset"], seed=seed)
-
-
 class MultiRestartRunner:
     """Best-of-``n_init`` execution of a configured clusterer.
 
@@ -95,14 +77,27 @@ class MultiRestartRunner:
     n_init:
         Number of random restarts (each gets an independent seed).
     n_jobs:
-        1 runs restarts sequentially in-process; larger values use a
-        process pool with that many workers (restarts stay seeded
-        identically, so the result does not depend on ``n_jobs``).
+        Worker count for the parallel backends (threads/processes);
+        restarts stay seeded identically and completions are consumed
+        in submission order, so the result does not depend on
+        ``n_jobs``.
     share_samples:
         Draw one :meth:`UncertainDataset.sample_tensor` and share it
         across restarts when the algorithm is sample-based.  Restarts
         then differ only in initialization, mirroring how the paper
         fixes the sample sets while varying seeds.
+    backend:
+        ``"serial"``, ``"threads"``, ``"processes"``, an
+        :class:`~repro.engine.backends.ExecutionBackend` instance, or
+        ``None`` for the historical mapping (serial when ``n_jobs ==
+        1``, the process pool otherwise).  All backends return
+        bit-identical results for fixed seeds.
+    early_stopping:
+        ``None`` (run every restart), an
+        :class:`~repro.engine.backends.EarlyStopping` rule, or an int
+        shorthand for ``EarlyStopping(patience=...)``.  Applied by
+        :meth:`run` only — :meth:`run_all` is a measurement surface and
+        always executes every requested restart.
     """
 
     def __init__(
@@ -111,6 +106,8 @@ class MultiRestartRunner:
         n_init: int = 10,
         n_jobs: int = 1,
         share_samples: bool = True,
+        backend: BackendLike = None,
+        early_stopping: Optional[EarlyStopping | int] = None,
     ):
         if n_init < 1:
             raise InvalidParameterError(f"n_init must be >= 1, got {n_init}")
@@ -120,17 +117,27 @@ class MultiRestartRunner:
         self.n_init = int(n_init)
         self.n_jobs = int(n_jobs)
         self.share_samples = bool(share_samples)
+        self.backend = get_backend(backend, self.n_jobs)
+        if isinstance(early_stopping, int):
+            early_stopping = EarlyStopping(patience=early_stopping)
+        self.early_stopping = early_stopping
 
     # ------------------------------------------------------------------
     def run(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Run every restart and return the best-objective result.
 
         The winner's ``extras`` gain ``n_init``, ``best_restart``,
-        ``engine_jobs``, ``shared_samples`` and ``restart_history`` (one
-        dict per restart); its ``objective_history`` is preserved from
-        the winning run.  Lower objective wins; NaN objectives (methods
-        without one) lose to any finite objective and fall back to the
-        first restart.
+        ``engine_jobs``, ``engine_backend``, ``shared_samples``,
+        ``restarts_executed``, ``early_stopped`` and
+        ``restart_history`` (one dict per executed restart); its
+        ``objective_history`` is preserved from the winning run.  Lower
+        objective wins; NaN objectives (methods without one) lose to
+        any finite objective and fall back to the first restart.
+
+        With ``early_stopping`` set, scheduling stops once the best
+        objective has not improved for ``patience`` completed restarts
+        (evaluated in seed order, so the outcome is backend-invariant);
+        ``restart_history`` then covers only the executed prefix.
         """
         if self.n_init > 1 and not getattr(self.clusterer, "has_objective", True):
             warnings.warn(
@@ -143,7 +150,8 @@ class MultiRestartRunner:
         need_sample = self._needs_sample_cache()
         restart_seeds, sample_seed = self._derive_seeds(seed, need_sample)
         results = self._run_with_cache(
-            dataset, restart_seeds, sample_seed, need_sample
+            dataset, restart_seeds, sample_seed, need_sample,
+            early_stopping=self.early_stopping,
         )
         return self._select_best(results, restart_seeds, self._shared(need_sample))
 
@@ -172,6 +180,12 @@ class MultiRestartRunner:
             shared-tensor draw only.  Restarts are fitted exactly as
             ``clusterer.fit(dataset, seed=seeds[i])`` would, so a caller
             can reproduce (and test against) the direct per-fit path.
+
+        Notes
+        -----
+        ``run_all`` executes through the configured backend but ignores
+        ``early_stopping``: callers aggregate over *all* runs, so
+        truncating the series would silently change the measurement.
         """
         need_sample = self._needs_sample_cache()
         if seeds is None:
@@ -234,6 +248,7 @@ class MultiRestartRunner:
         restart_seeds: Sequence[SeedLike],
         sample_seed: Optional[SeedLike],
         need_sample: bool,
+        early_stopping: Optional[EarlyStopping] = None,
     ) -> List[ClusteringResult]:
         """Execute restarts with the shared tensor injected/restored.
 
@@ -247,25 +262,13 @@ class MultiRestartRunner:
             cache = dataset.sample_tensor(n_samples, sample_seed)
             self.clusterer.sample_cache = cache
         try:
-            return self._execute(dataset, restart_seeds)
+            return self.backend.run(
+                self.clusterer, dataset, restart_seeds,
+                early_stopping=early_stopping,
+            )
         finally:
             if cache is not None:
                 self.clusterer.sample_cache = None
-
-    def _execute(
-        self, dataset: UncertainDataset, restart_seeds: Sequence[int]
-    ) -> List[ClusteringResult]:
-        if self.n_jobs == 1 or self.n_init == 1:
-            return [
-                _fit_one(self.clusterer, dataset, s) for s in restart_seeds
-            ]
-        workers = min(self.n_jobs, self.n_init)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self.clusterer, dataset),
-        ) as pool:
-            return list(pool.map(_fit_in_worker, restart_seeds))
 
     def _select_best(
         self,
@@ -293,7 +296,10 @@ class MultiRestartRunner:
             n_init=self.n_init,
             best_restart=best_idx,
             engine_jobs=self.n_jobs,
+            engine_backend=self.backend.name,
             shared_samples=shared,
+            restarts_executed=len(results),
+            early_stopped=len(results) < self.n_init,
             restart_history=[asdict(record) for record in history],
             total_runtime_seconds=float(
                 sum(r.runtime_seconds for r in results)
@@ -319,6 +325,7 @@ def fit_runs(
     sample_seed: SeedLike = None,
     share_samples: Optional[bool] = None,
     n_jobs: int = 1,
+    backend: BackendLike = None,
 ) -> List[ClusteringResult]:
     """Fit ``clusterer`` once per seed, optionally through the engine.
 
@@ -339,6 +346,10 @@ def fit_runs(
     resolution the engine path is fit-for-fit identical to the direct
     path for both the moment-based *and* the sample-deterministic
     algorithms.
+
+    ``backend`` selects the execution backend for the series (see
+    :class:`MultiRestartRunner`); every backend is result-identical for
+    fixed seeds, so the choice only affects wall-clock time.
     """
     seeds = list(seeds)
     if not engine:
@@ -346,6 +357,10 @@ def fit_runs(
     if share_samples is None:
         share_samples = not getattr(clusterer, "sample_randomness_only", False)
     runner = MultiRestartRunner(
-        clusterer, n_init=len(seeds), n_jobs=n_jobs, share_samples=share_samples
+        clusterer,
+        n_init=len(seeds),
+        n_jobs=n_jobs,
+        share_samples=share_samples,
+        backend=backend,
     )
     return runner.run_all(dataset, seed=sample_seed, seeds=seeds)

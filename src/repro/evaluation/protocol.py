@@ -113,6 +113,8 @@ def evaluate_theta_multirun(
     seed: SeedLike = None,
     distances: Optional[np.ndarray] = None,
     engine: bool = True,
+    backend: str = "serial",
+    n_jobs: int = 1,
 ) -> AveragedThetaResult:
     """Average the paired protocol over independent runs.
 
@@ -130,6 +132,11 @@ def evaluate_theta_multirun(
     seeds are derived exactly as in the direct loop, so the
     moment-based and sample-deterministic algorithms produce identical
     averages either way.
+
+    ``backend``/``n_jobs`` pick the execution backend for the two fit
+    series (:mod:`repro.engine.backends`).  Backends are
+    result-identical for fixed seeds, so at the paper's 50-run protocol
+    they change only how long the measurement takes.
     """
     if n_runs < 1:
         raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
@@ -161,12 +168,16 @@ def evaluate_theta_multirun(
             pair.perturbed,
             [run_pair[0] for run_pair in case_seeds],
             sample_seed=sample_rng1,
+            backend=backend,
+            n_jobs=n_jobs,
         )
         results_case2 = fit_runs(
             algorithm,
             pair.uncertain,
             [run_pair[1] for run_pair in case_seeds],
             sample_seed=sample_rng2,
+            backend=backend,
+            n_jobs=n_jobs,
         )
         for run, (case1, case2) in enumerate(zip(results_case1, results_case2)):
             thetas[run] = f_measure(case2.labels, reference) - f_measure(

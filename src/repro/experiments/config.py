@@ -117,6 +117,15 @@ class ExperimentConfig:
         derivation is identical in both modes, so the moment-based and
         sample-deterministic algorithms produce the same measurements
         either way.
+    backend:
+        Execution backend for the engine-routed fit series:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"`` (see
+        :mod:`repro.engine.backends`).  Backends are result-identical
+        for fixed seeds, so this knob only changes wall-clock time —
+        the paper-scale 50-run protocols are where it pays off.
+    n_jobs:
+        Worker count for the parallel backends (ignored by
+        ``"serial"``).
     """
 
     scale: float = 1.0
@@ -127,8 +136,12 @@ class ExperimentConfig:
     spread: float = 1.0
     mass: float = 0.95
     engine: bool = True
+    backend: str = "serial"
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
+        from repro.engine.backends import BACKEND_NAMES
+
         if not (0.0 < self.scale <= 1.0):
             raise InvalidParameterError(f"scale must be in (0, 1], got {self.scale}")
         if self.max_objects is not None and self.max_objects < 1:
@@ -137,3 +150,9 @@ class ExperimentConfig:
             )
         if self.n_runs < 1:
             raise InvalidParameterError(f"n_runs must be >= 1, got {self.n_runs}")
+        if self.backend not in BACKEND_NAMES:
+            raise InvalidParameterError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.n_jobs < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {self.n_jobs}")

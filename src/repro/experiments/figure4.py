@@ -136,6 +136,8 @@ def run_figure4(
                 streams[:-1],
                 engine=config.engine,
                 sample_seed=streams[-1],
+                backend=config.backend,
+                n_jobs=config.n_jobs,
             )
             times = np.array([result.runtime_seconds for result in results])
             report.runtimes_ms[(ds_name, alg_name)] = float(times.mean() * 1e3)

@@ -169,6 +169,8 @@ def run_table2(
                     seed=rng,
                     distances=distances,
                     engine=config.engine,
+                    backend=config.backend,
+                    n_jobs=config.n_jobs,
                 )
                 report.cells[(ds_name, family, alg_name)] = Table2Cell(
                     theta=outcome.theta_mean, quality=outcome.quality_mean

@@ -133,6 +133,8 @@ def run_table3(
                     streams[:-1],
                     engine=config.engine,
                     sample_seed=streams[-1],
+                    backend=config.backend,
+                    n_jobs=config.n_jobs,
                 )
                 scores = np.array(
                     [

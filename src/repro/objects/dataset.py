@@ -163,6 +163,44 @@ class UncertainDataset:
         return self._sampling_plan.sample(n_samples, seed)
 
     # ------------------------------------------------------------------
+    # Shared-memory reconstruction (process execution backend)
+    # ------------------------------------------------------------------
+    def _moment_free_state(self):
+        """The picklable state minus the stacked moment matrices.
+
+        The process execution backend ships this small tuple to workers
+        and publishes the ``(n, m)`` matrices through shared memory
+        instead — see :meth:`_from_shared_moments`.
+        """
+        return self._objects, self._labels
+
+    @classmethod
+    def _from_shared_moments(
+        cls, objects, labels, mu, mu2, sigma2
+    ) -> "UncertainDataset":
+        """Rebuild a dataset around externally provided moment views.
+
+        Counterpart of :meth:`_moment_free_state`: the matrices are
+        adopted as-is (typically read-only views over shared-memory
+        blocks) instead of being restacked from the objects, so worker
+        processes pay neither the pickling nor the recomputation cost.
+        """
+        dataset = object.__new__(cls)
+        dataset._objects = tuple(objects)
+        dataset._mu = mu
+        dataset._mu2 = mu2
+        dataset._sigma2 = sigma2
+        total_var = sigma2.sum(axis=1)
+        total_var.setflags(write=False)
+        dataset._total_var = total_var
+        if labels is not None:
+            labels = np.asarray(labels)
+            labels.setflags(write=False)
+        dataset._labels = labels
+        dataset._sampling_plan = None
+        return dataset
+
+    # ------------------------------------------------------------------
     # Derived datasets
     # ------------------------------------------------------------------
     def subset(self, indices: Iterable[int]) -> "UncertainDataset":

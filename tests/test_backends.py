@@ -1,0 +1,332 @@
+"""Tests for the pluggable execution backends (repro.engine.backends).
+
+The backend layer's whole value rests on one promise: *which* backend
+executes the restarts can never change what the engine returns.  These
+tests pin that promise (serial ≡ threads ≡ processes for fixed seeds,
+with and without early stopping, under out-of-order completion), plus
+the process backend's shared-memory contract — the sample tensor is
+published, not pickled, and every block is unlinked even when a worker
+crashes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.clustering import BasicUKMeans, MinMaxBB, UKMeans
+from repro.datagen import make_blobs_uncertain
+from repro.engine import (
+    BACKEND_NAMES,
+    EarlyStopping,
+    MultiRestartRunner,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def data():
+    # Moderate separation so different seeds reach different optima —
+    # otherwise best-of selection (and early stopping) has nothing to do.
+    return make_blobs_uncertain(
+        n_objects=90, n_clusters=4, separation=2.5, seed=13
+    )
+
+
+class JitterUKMeans(UKMeans):
+    """UK-means with a seed-dependent pre-fit sleep.
+
+    Later-submitted restarts can finish *before* earlier ones in a
+    parallel pool, which is exactly the scheduling hazard the
+    submission-order determinism contract must absorb.
+    """
+
+    def fit(self, dataset, seed=None):
+        time.sleep((int(seed) % 3) * 0.005)
+        return super().fit(dataset, seed=seed)
+
+
+class CrashingBasicUKMeans(BasicUKMeans):
+    """Sample-based clusterer whose every fit raises."""
+
+    def fit(self, dataset, seed=None):
+        raise RuntimeError("worker boom")
+
+
+class HardExitBasicUKMeans(BasicUKMeans):
+    """Sample-based clusterer that kills its worker process outright."""
+
+    def fit(self, dataset, seed=None):
+        import os
+
+        os._exit(13)
+
+
+class _PickleTrap(np.ndarray):
+    """ndarray view that refuses to be pickled — the serialization spy."""
+
+    def __reduce__(self):
+        raise AssertionError(
+            "the sample tensor must travel via shared memory, not pickle"
+        )
+
+
+def _assert_same_result(reference, other):
+    np.testing.assert_array_equal(reference.labels, other.labels)
+    assert reference.objective == other.objective
+    assert (
+        reference.extras["best_restart"] == other.extras["best_restart"]
+    )
+    assert (
+        reference.extras["restarts_executed"]
+        == other.extras["restarts_executed"]
+    )
+
+
+class TestBackendInvariance:
+    """serial ≡ threads ≡ processes, bit for bit, multi-seed."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    @pytest.mark.parametrize("early_stopping", [None, 2])
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UKMeans(4),  # moment-based roster
+            lambda: BasicUKMeans(4, n_samples=16),  # sample-based roster
+        ],
+    )
+    def test_backends_bit_identical(self, data, factory, early_stopping, seed):
+        reference = MultiRestartRunner(
+            factory(), n_init=5, backend="serial",
+            early_stopping=early_stopping,
+        ).run(data, seed=seed)
+        assert reference.extras["engine_backend"] == "serial"
+        for backend, n_jobs in (("threads", 3), ("processes", 2)):
+            result = MultiRestartRunner(
+                factory(), n_init=5, n_jobs=n_jobs, backend=backend,
+                early_stopping=early_stopping,
+            ).run(data, seed=seed)
+            assert result.extras["engine_backend"] == backend
+            _assert_same_result(reference, result)
+
+    def test_pruning_variant_across_backends(self, data):
+        reference = MultiRestartRunner(
+            MinMaxBB(4, n_samples=16), n_init=4, backend="serial"
+        ).run(data, seed=4)
+        for backend in ("threads", "processes"):
+            result = MultiRestartRunner(
+                MinMaxBB(4, n_samples=16), n_init=4, n_jobs=2,
+                backend=backend,
+            ).run(data, seed=4)
+            _assert_same_result(reference, result)
+
+    def test_run_all_across_backends(self, data):
+        reference = MultiRestartRunner(
+            BasicUKMeans(4, n_samples=16), n_init=4, backend="serial"
+        ).run_all(data, seed=9)
+        for backend in ("threads", "processes"):
+            results = MultiRestartRunner(
+                BasicUKMeans(4, n_samples=16), n_init=4, n_jobs=2,
+                backend=backend,
+            ).run_all(data, seed=9)
+            assert len(results) == len(reference)
+            for ref, res in zip(reference, results):
+                np.testing.assert_array_equal(ref.labels, res.labels)
+                assert ref.objective == res.objective
+
+    def test_legacy_n_jobs_mapping_unchanged(self, data):
+        """backend=None keeps the historical semantics: serial for
+        n_jobs == 1, the process pool otherwise."""
+        serial = MultiRestartRunner(UKMeans(4), n_init=3)
+        assert isinstance(serial.backend, SerialBackend)
+        pooled = MultiRestartRunner(UKMeans(4), n_init=3, n_jobs=2)
+        assert isinstance(pooled.backend, ProcessBackend)
+
+    def test_fit_best_backend_routing(self, data):
+        via_serial = UKMeans(4).fit_best(data, seed=17, n_init=4)
+        via_threads = UKMeans(4).fit_best(
+            data, seed=17, n_init=4, n_jobs=2, backend="threads"
+        )
+        _assert_same_result(via_serial, via_threads)
+
+
+class TestEarlyStopping:
+    def test_rule_matches_manual_replay(self, data):
+        """The executed prefix is exactly what replaying the rule over
+        the full objective sequence predicts."""
+        patience = 2
+        full = MultiRestartRunner(UKMeans(4), n_init=10).run(data, seed=3)
+        objectives = [
+            record["objective"] for record in full.extras["restart_history"]
+        ]
+        best = float("inf")
+        stale = 0
+        expected = len(objectives)
+        for idx, objective in enumerate(objectives):
+            if objective < best:
+                best = objective
+                stale = 0
+            else:
+                stale += 1
+            if stale >= patience:
+                expected = idx + 1
+                break
+        stopped = MultiRestartRunner(
+            UKMeans(4), n_init=10, early_stopping=patience
+        ).run(data, seed=3)
+        assert stopped.extras["restarts_executed"] == expected
+        assert stopped.extras["early_stopped"] == (expected < 10)
+        assert stopped.objective == min(objectives[:expected])
+
+    def test_deterministic_under_out_of_order_completion(self, data):
+        """Seed-dependent jitter makes pool completions arrive out of
+        submission order; the stopping decision must not move."""
+        reference = MultiRestartRunner(
+            JitterUKMeans(4), n_init=8, backend="serial", early_stopping=1
+        ).run(data, seed=21)
+        for backend, n_jobs in (("threads", 4), ("processes", 2)):
+            result = MultiRestartRunner(
+                JitterUKMeans(4), n_init=8, n_jobs=n_jobs, backend=backend,
+                early_stopping=1,
+            ).run(data, seed=21)
+            _assert_same_result(reference, result)
+            assert (
+                result.extras["early_stopped"]
+                == reference.extras["early_stopped"]
+            )
+
+    def test_run_all_ignores_early_stopping(self, data):
+        """run_all is a measurement surface: it must never truncate."""
+        runner = MultiRestartRunner(
+            UKMeans(4), n_init=6, early_stopping=1
+        )
+        assert len(runner.run_all(data, seed=3)) == 6
+
+    def test_int_shorthand(self, data):
+        runner = MultiRestartRunner(UKMeans(4), n_init=2, early_stopping=3)
+        assert runner.early_stopping == EarlyStopping(patience=3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            EarlyStopping(patience=0)
+        with pytest.raises(InvalidParameterError):
+            EarlyStopping(patience=2, min_improvement=-1.0)
+
+    def test_min_improvement_counts_small_gains_as_stale(self, data):
+        """A huge min_improvement makes every restart after the first
+        non-improving (the first always beats the initial +inf), so the
+        engine stops after exactly 1 + patience restarts."""
+        result = MultiRestartRunner(
+            UKMeans(4),
+            n_init=10,
+            early_stopping=EarlyStopping(patience=2, min_improvement=1e12),
+        ).run(data, seed=5)
+        assert result.extras["restarts_executed"] == 3
+
+
+class TestProcessBackendSharedMemory:
+    def test_sample_tensor_not_pickled(self, data):
+        """Serialization spy: with the tensor pinned as a pickle trap,
+        the processes run still succeeds (shared memory) and matches
+        the serial result computed from the same tensor."""
+        tensor = data.sample_tensor(16, seed=33)
+        trapped = BasicUKMeans(4, n_samples=16)
+        trapped.sample_cache = tensor.view(_PickleTrap)
+        via_processes = MultiRestartRunner(
+            trapped, n_init=4, n_jobs=2, backend="processes"
+        ).run(data, seed=2)
+        plain = BasicUKMeans(4, n_samples=16)
+        plain.sample_cache = tensor
+        via_serial = MultiRestartRunner(
+            plain, n_init=4, backend="serial"
+        ).run(data, seed=2)
+        _assert_same_result(via_serial, via_processes)
+        # The trap itself must still be armed (and restored after run).
+        with pytest.raises(AssertionError, match="shared memory"):
+            import pickle
+
+            pickle.dumps(trapped.sample_cache)
+
+    def _assert_blocks_unlinked(self, backend):
+        assert backend.last_shared_specs  # the run did publish blocks
+        for name, _, _ in backend.last_shared_specs:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_shared_blocks_unlinked_after_run(self, data):
+        backend = ProcessBackend(n_jobs=2)
+        runner = MultiRestartRunner(
+            BasicUKMeans(4, n_samples=16), n_init=4, backend=backend
+        )
+        runner.run(data, seed=2)
+        # Moment matrices + the engine-pinned sample tensor.
+        assert len(backend.last_shared_specs) == 4
+        self._assert_blocks_unlinked(backend)
+
+    def test_shared_blocks_unlinked_on_worker_exception(self, data):
+        backend = ProcessBackend(n_jobs=2)
+        runner = MultiRestartRunner(
+            CrashingBasicUKMeans(4, n_samples=16), n_init=4, backend=backend
+        )
+        with pytest.raises(RuntimeError, match="worker boom"):
+            runner.run(data, seed=2)
+        self._assert_blocks_unlinked(backend)
+        # The engine restored the clusterer despite the crash.
+        assert runner.clusterer.sample_cache is None
+
+    def test_shared_blocks_unlinked_on_worker_hard_crash(self, data):
+        """os._exit in a worker breaks the whole pool; the blocks must
+        still be unlinked."""
+        backend = ProcessBackend(n_jobs=2)
+        runner = MultiRestartRunner(
+            HardExitBasicUKMeans(4, n_samples=16), n_init=4, backend=backend
+        )
+        with pytest.raises(BrokenProcessPool):
+            runner.run(data, seed=2)
+        self._assert_blocks_unlinked(backend)
+
+    def test_worker_dataset_views_match_parent(self, data):
+        """Workers rebuild the dataset around shared views; fitting the
+        same seeds through them must equal in-process fits."""
+        reference = [
+            UKMeans(4).fit(data, seed=s).labels for s in (1, 2, 3, 4)
+        ]
+        results = MultiRestartRunner(
+            UKMeans(4), n_init=4, n_jobs=2, backend="processes"
+        ).run_all(data, seeds=[1, 2, 3, 4])
+        for ref, res in zip(reference, results):
+            np.testing.assert_array_equal(ref, res.labels)
+
+
+class TestGetBackend:
+    def test_names(self):
+        assert get_backend("serial", 1).name == "serial"
+        assert get_backend("threads", 2).name == "threads"
+        assert get_backend("processes", 2).name == "processes"
+        assert set(BACKEND_NAMES) == {"serial", "threads", "processes"}
+
+    def test_none_maps_to_legacy_choice(self):
+        assert isinstance(get_backend(None, 1), SerialBackend)
+        assert isinstance(get_backend(None, 4), ProcessBackend)
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(3)
+        assert get_backend(backend, 1) is backend
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_backend("gpu", 2)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ThreadBackend(0)
+        with pytest.raises(InvalidParameterError):
+            ProcessBackend(0)

@@ -1,0 +1,52 @@
+"""Smoke test for the CI benchmark runner (benchmarks/run_bench.py)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_run_bench_quick_emits_schema_json(tmp_path):
+    output = tmp_path / "BENCH_engine.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_bench.py"),
+            "--quick",
+            "--output",
+            str(output),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == 1
+    assert payload["quick"] is True
+    assert payload["machine"]["cpu_count"] == os.cpu_count()
+    names = {entry["name"] for entry in payload["benchmarks"]}
+    # The roster must cover sampling, restarts, density, every backend,
+    # and the hierarchical kernel.
+    by_name = {entry["name"]: entry for entry in payload["benchmarks"]}
+    assert by_name["sample_tensor_batched"]["speedup"] > 0
+    assert {
+        "sample_tensor_batched",
+        "multi_restart_shared_cache",
+        "fdbscan_ported_fit",
+        "backend_serial_ukmeans_restarts",
+        "backend_threads_ukmeans_restarts",
+        "backend_processes_ukmeans_restarts",
+        "uahc_jeffreys_fit",
+    } <= names
+    assert all(entry["seconds"] > 0 for entry in payload["benchmarks"])

@@ -99,6 +99,27 @@ class TestUCentroid:
         total = sum(o.total_variance for o in mixed_cluster)
         assert centroid.total_variance == pytest.approx(total / n**2)
 
+    @pytest.mark.parametrize("n_members", [2, 5, 37, 150])
+    def test_moments_exactly_match_member_loop(self, rng, n_members):
+        """The stacked-array reductions of ``__init__`` must reproduce
+        the per-member accumulation loop they replaced *bit for bit*
+        (outer-axis ufunc reduction accumulates row by row), on
+        mixed-family clusters of any size."""
+        members = random_uncertain_objects(rng, n_members, dim=3)
+        centroid = UCentroid(members)
+        mu_sum = np.zeros(3)
+        mu2_sum = np.zeros(3)
+        mu_sq_sum = np.zeros(3)
+        for obj in members:
+            mu_sum += obj.mu
+            mu2_sum += obj.mu2
+            mu_sq_sum += obj.mu**2
+        cross = mu_sum**2 - mu_sq_sum
+        np.testing.assert_array_equal(centroid.mu, mu_sum / n_members)
+        np.testing.assert_array_equal(
+            centroid.mu2, (mu2_sum + cross) / (n_members * n_members)
+        )
+
     def test_sampling_matches_analytic_moments(self, mixed_cluster):
         centroid = UCentroid(mixed_cluster)
         samples = centroid.sample(60000, seed=0)

@@ -176,6 +176,83 @@ class TestUAHC:
         heights = [m.height for m in merges]
         assert heights[0] <= max(heights)
 
+    @pytest.mark.parametrize("linkage", ["jeffreys", "ed"])
+    def test_vectorized_proximity_preserves_merge_order_bit_exactly(
+        self, linkage
+    ):
+        """The blocked-broadcast `_full_proximity` and the incremental
+        per-merge Gaussian refresh must reproduce the pre-vectorization
+        per-row implementation *bit for bit* — agglomerative merge
+        order is decided by float comparisons, so even one ulp of drift
+        reorders dendrograms."""
+        from repro.clustering.uahc import _VAR_FLOOR
+        from repro.datagen import make_blobs_uncertain
+
+        data = make_blobs_uncertain(
+            n_objects=120, n_clusters=4, n_attributes=5, separation=1.5,
+            seed=3,
+        )
+        model = UAHC(n_clusters=4, linkage=linkage)
+
+        def legacy_agglomerate(dataset, k):
+            n = len(dataset)
+            mu_sum = dataset.mu_matrix.copy()
+            mu2_sum = dataset.mu2_matrix.copy()
+            counts = np.ones(n, dtype=np.int64)
+            active = np.ones(n, dtype=bool)
+            membership = np.arange(n)
+
+            def gaussians():
+                inv = 1.0 / counts.astype(np.float64)
+                mix_mu = mu_sum * inv[:, None]
+                mix_mu2 = mu2_sum * inv[:, None]
+                return mix_mu, np.maximum(
+                    mix_mu2 - mix_mu**2, _VAR_FLOOR
+                )
+
+            mu, var = gaussians()
+            prox = np.empty((n, n))
+            for i in range(n):
+                prox[i] = model._row_against(mu, var, i)
+            np.fill_diagonal(prox, np.inf)
+            merges = []
+            n_active = n
+            while n_active > k:
+                flat = int(np.argmin(prox))
+                a, b = divmod(flat, n)
+                if a > b:
+                    a, b = b, a
+                merges.append((a, b, float(prox[a, b])))
+                mu_sum[a] += mu_sum[b]
+                mu2_sum[a] += mu2_sum[b]
+                counts[a] += counts[b]
+                active[b] = False
+                membership[membership == b] = a
+                prox[b, :] = np.inf
+                prox[:, b] = np.inf
+                mu, var = gaussians()
+                row = model._row_against(mu, var, a)
+                row[~active] = np.inf
+                row[a] = np.inf
+                prox[a, :] = row
+                prox[:, a] = row
+                n_active -= 1
+            survivors = {
+                old: new for new, old in enumerate(np.flatnonzero(active))
+            }
+            labels = np.array(
+                [survivors[int(c)] for c in membership], dtype=np.int64
+            )
+            return labels, merges
+
+        labels, merges = model._agglomerate(data, 4)
+        ref_labels, ref_merges = legacy_agglomerate(data, 4)
+        np.testing.assert_array_equal(labels, ref_labels)
+        assert [(m.left, m.right) for m in merges] == [
+            (a, b) for a, b, _ in ref_merges
+        ]
+        assert [m.height for m in merges] == [h for _, _, h in ref_merges]
+
     def test_k_equals_n_is_identity(self, mixed_dataset):
         result = UAHC(n_clusters=len(mixed_dataset)).fit(mixed_dataset)
         assert result.n_clusters == len(mixed_dataset)

@@ -112,3 +112,80 @@ class TestUKMedoids:
         a = UKMedoids(n_clusters=3).fit(data, seed=6)
         b = UKMedoids(n_clusters=3).fit(data, seed=6)
         assert np.array_equal(a.labels, b.labels)
+
+    def test_empty_cluster_reseed_keeps_k_distinct_medoids(self, monkeypatch):
+        """Regression: the empty-cluster reseed used to take a bare
+        ``argmax(own_cost)``, which can pick an object that was just
+        chosen as another cluster's new medoid — collapsing the
+        clustering to k-1 distinct medoids.  This matrix forces exactly
+        that trap: cluster 2 starts empty, and the worst-served object
+        (4) simultaneously wins cluster 1's medoid update."""
+        from repro.objects import UncertainDataset
+
+        # Symmetric ÊD stand-in, objects 0..5: {0, 2, 3} near medoid 0
+        # (objects 0 and 2 coincident), {1, 4, 5} near medoid 1, with
+        # the far pair (4, 5) equidistant from it.
+        d = np.zeros((6, 6))
+        pairs = {
+            (0, 1): 5.0, (0, 2): 0.0, (0, 3): 2.0, (0, 4): 12.0, (0, 5): 12.0,
+            (1, 2): 5.0, (1, 3): 4.0, (1, 4): 10.0, (1, 5): 10.0,
+            (2, 3): 2.0, (2, 4): 12.0, (2, 5): 12.0,
+            (3, 4): 12.0, (3, 5): 12.0,
+            (4, 5): 0.1,
+        }
+        for (i, j), value in pairs.items():
+            d[i, j] = d[j, i] = value
+        monkeypatch.setattr(
+            "repro.clustering.ukmedoids.random_seed_indices",
+            lambda n, k, rng: np.array([0, 1, 2]),
+        )
+        dataset = UncertainDataset.from_points(np.zeros((6, 1)))
+        result = UKMedoids(n_clusters=3, precomputed=d).fit(dataset, seed=0)
+        medoids = result.extras["medoids"]
+        assert result.extras["reseeded"] >= 1
+        assert len(set(medoids)) == 3
+        assert result.n_clusters == 3
+
+    def test_member_update_cannot_steal_reseed_target(self, monkeypatch):
+        """The collapse hazard from the other direction: after an empty
+        cluster reseeds onto object x, a *later* cluster's member-based
+        medoid update must not pick x too.  Here cluster 1 (medoid 1)
+        starts empty and reseeds onto object 2 — which then also wins
+        cluster 2's within-sum tie between members {2, 3}."""
+        from repro.objects import UncertainDataset
+
+        d = np.zeros((5, 5))
+        pairs = {
+            (0, 1): 0.0, (0, 2): 100.0, (0, 3): 100.0, (0, 4): 1.0,
+            (1, 2): 100.0, (1, 3): 100.0, (1, 4): 1.0,
+            (2, 3): 10.0, (2, 4): 100.0,
+            (3, 4): 100.0,
+        }
+        for (i, j), value in pairs.items():
+            d[i, j] = d[j, i] = value
+        monkeypatch.setattr(
+            "repro.clustering.ukmedoids.random_seed_indices",
+            lambda n, k, rng: np.array([0, 1, 3]),
+        )
+        dataset = UncertainDataset.from_points(np.zeros((5, 1)))
+        result = UKMedoids(n_clusters=3, precomputed=d).fit(dataset, seed=0)
+        assert result.extras["reseeded"] >= 1
+        assert len(set(result.extras["medoids"])) == 3
+        assert result.n_clusters == 3
+
+    def test_reseed_with_all_objects_medoids_keeps_old_medoid(self, monkeypatch):
+        """Degenerate k == n case: when every object already is a
+        medoid there is no reseed candidate, so the empty cluster keeps
+        its old medoid instead of duplicating another one."""
+        from repro.objects import UncertainDataset
+
+        # Objects 0 and 1 coincide, so with medoids [0, 1] object 1's
+        # tie breaks to medoid 0 and cluster 1 goes empty.
+        d = np.array([[0.0, 0.0], [0.0, 0.0]])
+        monkeypatch.setattr(
+            "repro.clustering.ukmedoids.random_seed_indices",
+            lambda n, k, rng: np.array([0, 1]),
+        )
+        dataset = UncertainDataset.from_points(np.zeros((2, 1)))
+        result = UKMedoids(n_clusters=2, precomputed=d).fit(dataset, seed=0)
+        assert len(set(result.extras["medoids"])) == 2
