@@ -18,6 +18,8 @@ The measurement roster mirrors ``benchmarks/bench_engine.py``:
 * ported FDBSCAN end-to-end fit;
 * the execution backends (serial / threads / processes) driving the
   same moment-based restart workload;
+* paper-scale UK-medoids multi-restarts on the shared pairwise-distance
+  plane vs the per-restart ÊD recompute it replaced;
 * UAHC's vectorized proximity agglomeration.
 
 Timings are best-of-``repeats`` wall clock; the JSON also records the
@@ -44,7 +46,7 @@ except ImportError:  # pragma: no cover - direct invocation convenience
 
 import numpy as np
 
-from repro.clustering import FDBSCAN, UAHC, UKMeans, BasicUKMeans
+from repro.clustering import FDBSCAN, UAHC, UKMeans, BasicUKMeans, UKMedoids
 from repro.datagen import make_blobs_uncertain
 from repro.engine import MultiRestartRunner
 from repro.exceptions import ConvergenceWarning
@@ -177,6 +179,56 @@ def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
                 n_init=8,
                 n_jobs=n_jobs,
             )
+
+    # --- pairwise-distance plane -------------------------------------
+    from repro.objects.distance import pairwise_squared_expected_distances
+
+    n_medoid = int(2000 * scale)
+    medoid_k = 25
+    medoid_restarts = 8
+    medoid_data = make_blobs_uncertain(
+        n_objects=n_medoid, n_clusters=medoid_k, n_attributes=32,
+        separation=3.0, seed=23,
+    )
+
+    def _plane_shared():
+        # Build + pin the matrix explicitly so each repeat pays the
+        # one-time off-line cost (the dataset-level cache would hide it).
+        model = UKMedoids(medoid_k, max_iter=2)
+        model.pairwise_ed_cache = pairwise_squared_expected_distances(
+            medoid_data
+        )
+        return MultiRestartRunner(
+            model, n_init=medoid_restarts, backend="serial"
+        ).run(medoid_data, seed=5)
+
+    def _plane_recompute():
+        return MultiRestartRunner(
+            UKMedoids(medoid_k, max_iter=2),
+            n_init=medoid_restarts,
+            backend="serial",
+            share_pairwise=False,
+        ).run(medoid_data, seed=5)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        plane_shared = _best_of(_plane_shared, repeats)
+        plane_recompute = _best_of(_plane_recompute, repeats)
+    record(
+        "ukmedoids_plane_shared",
+        plane_shared,
+        n=n_medoid,
+        n_init=medoid_restarts,
+        k=medoid_k,
+        speedup=plane_recompute / plane_shared,
+    )
+    record(
+        "ukmedoids_plane_recompute",
+        plane_recompute,
+        n=n_medoid,
+        n_init=medoid_restarts,
+        k=medoid_k,
+    )
 
     # --- hierarchical ------------------------------------------------
     n_uahc = int(300 * scale)

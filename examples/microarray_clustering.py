@@ -13,7 +13,6 @@ in the paper — across several cluster counts.
 from __future__ import annotations
 
 from repro import UCPC, MMVar, UKMeans, internal_scores, make_microarray
-from repro.objects.distance import pairwise_squared_expected_distances
 
 SEED = 33
 CLUSTER_COUNTS = (2, 5, 10)
@@ -31,8 +30,9 @@ def main() -> None:
         "low-expressed probes, as in multi-mgMOS)"
     )
 
-    # Precompute the pairwise ÊD matrix once; Q reuses it per clustering.
-    distances = pairwise_squared_expected_distances(genes)
+    # The dataset-cached pairwise ÊD plane; Q reuses it per clustering
+    # (and engine-run UK-medoids would read the same matrix).
+    distances = genes.pairwise_ed()
 
     print(f"\n{'k':>3s}  {'UKM':>7s}  {'MMV':>7s}  {'UCPC':>7s}   (internal criterion Q)")
     for k in CLUSTER_COUNTS:

@@ -57,6 +57,7 @@ from repro.objects import (
     expected_distance_to_point,
     pairwise_squared_expected_distances,
     squared_expected_distance,
+    validate_pairwise_ed,
 )
 from repro.uncertainty import (
     BoxRegion,
@@ -113,6 +114,7 @@ __all__ = [
     "UncertainObject",
     "expected_distance_to_point",
     "pairwise_squared_expected_distances",
+    "validate_pairwise_ed",
     "squared_expected_distance",
     # uncertainty
     "BoxRegion",

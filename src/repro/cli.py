@@ -56,15 +56,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=["serial", "threads", "processes"],
+        choices=["serial", "threads", "processes", "auto"],
         default="serial",
-        help="execution backend for the per-run fits (result-identical)",
+        help="execution backend for the per-run fits (result-identical; "
+        "'auto' dispatches per algorithm family)",
     )
     parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="workers for the threads/processes backends",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="restarts submitted per pool task (in-worker batching; "
+        "result-identical)",
     )
 
 
@@ -78,6 +86,7 @@ def _config(args: argparse.Namespace, **overrides) -> ExperimentConfig:
         spread=args.spread,
         backend=args.backend,
         n_jobs=args.jobs,
+        batch_size=args.batch_size,
     )
     values.update(overrides)
     return ExperimentConfig(**values)
@@ -177,6 +186,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 n_jobs=args.jobs,
                 backend=args.backend,
                 early_stopping=args.patience,
+                batch_size=args.batch_size,
             )
         else:
             result = algorithm.fit(data, seed=args.seed)
@@ -264,10 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pd.add_argument(
         "--backend",
-        choices=["serial", "threads", "processes"],
+        choices=["serial", "threads", "processes", "auto"],
         default=None,
         help="execution backend (default: serial, or processes when "
-        "--jobs > 1)",
+        "--jobs > 1; 'auto' dispatches per algorithm family)",
+    )
+    pd.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="restarts submitted per pool task (in-worker batching)",
     )
     pd.add_argument(
         "--patience",

@@ -121,6 +121,21 @@ class UncertainClusterer(abc.ABC):
     #: multi-restart execution for them.
     has_objective: bool = True
 
+    #: Whether :meth:`fit` consumes the dataset's pairwise ``ÊD`` matrix
+    #: (the off-line phase of UK-medoids and, later, UAHC's proximity
+    #: seed).  Declaring algorithms expose a ``pairwise_ed_cache``
+    #: attribute; the multi-restart engine computes the matrix **once**
+    #: per run-set (``UncertainDataset.pairwise_ed``) and injects it
+    #: there, so restarts never repeat the O(n^2 m) work.
+    wants_pairwise_ed: bool = False
+
+    #: Backend family the ``auto`` execution backend dispatches this
+    #: algorithm to when parallel workers are available: ``"threads"``
+    #: for fits dominated by GIL-releasing moment/tensor kernels (the
+    #: default), ``"processes"`` for interpreter-bound relocation/merge
+    #: loops (UCPC, UK-medoids, UAHC).
+    preferred_backend: str = "threads"
+
     @abc.abstractmethod
     def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Cluster ``dataset`` and return a :class:`ClusteringResult`."""
@@ -133,16 +148,19 @@ class UncertainClusterer(abc.ABC):
         n_jobs: int = 1,
         backend=None,
         early_stopping=None,
+        batch_size: int = 1,
     ) -> ClusteringResult:
         """Best-of-``n_init`` restarts via the multi-restart engine.
 
         Convenience wrapper around
         :class:`repro.engine.MultiRestartRunner`: restarts share the
-        dataset's moment cache and (for sample-based algorithms) one
-        precomputed sample tensor, execute on the chosen backend
-        (``"serial"``, ``"threads"`` or ``"processes"``; ``None`` maps
-        ``n_jobs`` to the historical serial/process choice), optionally
-        stop early once ``early_stopping`` restarts bring no
+        dataset's moment cache, one precomputed sample tensor (for
+        sample-based algorithms) and one pairwise ``ÊD`` matrix (for
+        ``wants_pairwise_ed`` algorithms), execute on the chosen backend
+        (``"serial"``, ``"threads"``, ``"processes"`` or ``"auto"``;
+        ``None`` maps ``n_jobs`` to the historical serial/process
+        choice) in in-worker chunks of ``batch_size`` restarts,
+        optionally stop early once ``early_stopping`` restarts bring no
         improvement, and the lowest-objective result wins.
         """
         from repro.engine import MultiRestartRunner
@@ -153,6 +171,7 @@ class UncertainClusterer(abc.ABC):
             n_jobs=n_jobs,
             backend=backend,
             early_stopping=early_stopping,
+            batch_size=batch_size,
         )
         return runner.run(dataset, seed=seed)
 

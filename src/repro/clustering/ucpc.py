@@ -76,6 +76,9 @@ class UCPC(UncertainClusterer):
     """
 
     name = "UCPC"
+    #: Relocation sweep is an interpreter-bound per-object loop — the
+    #: auto backend routes UCPC to the process pool.
+    preferred_backend = "processes"
 
     def __init__(
         self,

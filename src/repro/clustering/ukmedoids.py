@@ -31,7 +31,10 @@ from repro.clustering.initialization import (
 )
 from repro.exceptions import ConvergenceWarning, InvalidParameterError
 from repro.objects.dataset import UncertainDataset
-from repro.objects.distance import pairwise_squared_expected_distances
+from repro.objects.distance import (
+    pairwise_squared_expected_distances,
+    validate_pairwise_ed,
+)
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
 
@@ -50,10 +53,26 @@ class UKMedoids(UncertainClusterer):
     precomputed:
         Optional externally computed ``(n, n)`` ``ÊD`` matrix (reused
         across runs by the experiment harness to mimic the paper's
-        off-line phase accounting).
+        off-line phase accounting).  Validated at construction —
+        symmetry, finiteness and non-negativity — and **adopted as a
+        view** when already float64 (see
+        :func:`~repro.objects.distance.validate_pairwise_ed`): the
+        caller's array is not copied, so later in-place mutation of it
+        is visible to every subsequent :meth:`fit`.
+
+    Notes
+    -----
+    ``pairwise_ed_cache`` is the engine's injection point (analogous to
+    the sample-based algorithms' ``sample_cache``): the multi-restart
+    runner computes :meth:`UncertainDataset.pairwise_ed` once per
+    run-set and pins it here, so restarts skip the off-line phase
+    entirely.  Resolution order in :meth:`fit` is ``pairwise_ed_cache``
+    > ``precomputed`` > compute-from-dataset.
     """
 
     name = "UKmed"
+    wants_pairwise_ed = True
+    preferred_backend = "processes"
 
     def __init__(
         self,
@@ -71,7 +90,11 @@ class UKMedoids(UncertainClusterer):
         self.n_clusters = int(n_clusters)
         self.max_iter = int(max_iter)
         self.init = init
+        if precomputed is not None:
+            precomputed = validate_pairwise_ed(precomputed, name="precomputed")
         self.precomputed = precomputed
+        #: Engine-injected shared ``ÊD`` matrix (trusted, not revalidated).
+        self.pairwise_ed_cache: Optional[np.ndarray] = None
 
     def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Cluster ``dataset``; see class docstring."""
@@ -80,8 +103,17 @@ class UKMedoids(UncertainClusterer):
         rng = ensure_rng(seed)
 
         # Off-line phase: the pairwise ÊD matrix (Lemma 3 closed form).
-        if self.precomputed is not None:
-            distances = np.asarray(self.precomputed, dtype=np.float64)
+        # The engine-injected cache wins over the constructor matrix so
+        # one configured instance can still ride the shared plane.
+        if self.pairwise_ed_cache is not None:
+            distances = np.asarray(self.pairwise_ed_cache, dtype=np.float64)
+            if distances.shape != (n, n):
+                raise InvalidParameterError(
+                    f"pairwise_ed_cache matrix must be ({n}, {n}), "
+                    f"got {distances.shape}"
+                )
+        elif self.precomputed is not None:
+            distances = self.precomputed
             if distances.shape != (n, n):
                 raise InvalidParameterError(
                     f"precomputed matrix must be ({n}, {n}), got {distances.shape}"

@@ -2,17 +2,19 @@
 
 The clustering modules implement one run of one algorithm; this
 subpackage implements how production workloads actually invoke them —
-many random restarts over a shared precomputed moment/sample cache,
-keeping the best result by objective.  Execution is pluggable
+many random restarts over shared precomputed moment/sample/pairwise-ÊD
+caches, keeping the best result by objective.  Execution is pluggable
 (:mod:`repro.engine.backends`): serial, thread pool (GIL-releasing
-NumPy kernels, zero serialization) or process pool (moment matrices
-and the sample tensor published once via shared memory), all
-bit-identical for fixed seeds, with optional engine-level early
-stopping across restarts.
+NumPy kernels, zero serialization), process pool (moment matrices,
+sample tensor and ÊD matrix published once via shared memory) or auto
+(per-algorithm-family dispatch), all bit-identical for fixed seeds,
+with optional engine-level early stopping across restarts and
+in-worker restart batching.
 """
 
 from repro.engine.backends import (
     BACKEND_NAMES,
+    AutoBackend,
     EarlyStopping,
     ExecutionBackend,
     ProcessBackend,
@@ -20,9 +22,15 @@ from repro.engine.backends import (
     ThreadBackend,
     get_backend,
 )
+from repro.engine.distances import (
+    needs_pairwise_ed,
+    pinned_pairwise_ed,
+    resolve_pairwise_ed,
+)
 from repro.engine.runner import MultiRestartRunner, RestartRecord, fit_runs
 
 __all__ = [
+    "AutoBackend",
     "BACKEND_NAMES",
     "EarlyStopping",
     "ExecutionBackend",
@@ -33,4 +41,7 @@ __all__ = [
     "ThreadBackend",
     "fit_runs",
     "get_backend",
+    "needs_pairwise_ed",
+    "pinned_pairwise_ed",
+    "resolve_pairwise_ed",
 ]

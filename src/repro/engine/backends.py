@@ -13,11 +13,23 @@ execute depends on the algorithm family:
   tensor in place.
 * **processes** — a ``ProcessPoolExecutor`` for fits whose Python-level
   bookkeeping would serialize on the GIL.  The dataset's stacked moment
-  matrices and the engine's batched ``(n, S, m)`` sample tensor are
-  published **once** through :mod:`multiprocessing.shared_memory`;
+  matrices, the engine's batched ``(n, S, m)`` sample tensor and the
+  shared pairwise ``ÊD`` matrix (for ``wants_pairwise_ed`` algorithms)
+  are published **once** through :mod:`multiprocessing.shared_memory`;
   workers attach to the blocks by name instead of receiving pickled
   copies, so the per-restart (and per-worker) pickling cost no longer
-  grows with ``n·S·m``.
+  grows with ``n·S·m`` or ``n^2``.
+* **auto** — per-algorithm-family dispatch: serial when only one worker
+  or restart is requested (or the fit is sub-ms small), otherwise the
+  clusterer's declared ``preferred_backend`` family — threads for
+  GIL-releasing moment/tensor kernels, processes for interpreter-bound
+  relocation/merge loops.
+
+All pool backends optionally submit restarts in **in-worker batches**
+(``batch_size`` seeds per task): a worker fits a whole chunk in one
+task, amortizing per-task pool overhead for sub-ms fits.  Completions
+are still consumed in submission order restart-by-restart, so batching
+never changes the result (see below).
 
 Determinism contract
 --------------------
@@ -48,7 +60,15 @@ from repro.objects.dataset import UncertainDataset
 
 #: Names accepted by :func:`get_backend` (and the ``backend=`` knobs of
 #: the runner, the experiment configs and the CLI).
-BACKEND_NAMES = ("serial", "threads", "processes")
+BACKEND_NAMES = ("serial", "threads", "processes", "auto")
+
+#: Per-fit element floor below which the auto backend prefers serial:
+#: fits touching this little data are sub-millisecond, so pool spin-up
+#: and task dispatch would dominate any parallel win.  The count is
+#: ``n * m`` scaled by the algorithm's Monte-Carlo ``n_samples`` when it
+#: is sample-based — an (n, S, m) tensor sweep is not sub-ms just
+#: because the dataset is small.
+AUTO_SERIAL_ELEMENTS = 4096
 
 
 @dataclass(frozen=True)
@@ -152,42 +172,67 @@ def _run_serially(
     return results
 
 
+def _chunk_seeds(seeds: Sequence[int], batch_size: int) -> List[List[int]]:
+    """Split the seed list into submission-order chunks of ``batch_size``."""
+    seeds = list(seeds)
+    return [seeds[i : i + batch_size] for i in range(0, len(seeds), batch_size)]
+
+
+def _fit_chunk(
+    clusterer: UncertainClusterer,
+    dataset: UncertainDataset,
+    seeds: Sequence[int],
+) -> List[ClusteringResult]:
+    """One pool task: fit a whole chunk of restarts in seed order."""
+    return [clusterer.fit(dataset, seed=s) for s in seeds]
+
+
 def _drive_pool(
-    submit: Callable[[int], Future],
+    submit: Callable[[List[int]], Future],
     seeds: Sequence[int],
     early_stopping: Optional[EarlyStopping],
     window: int,
+    batch_size: int = 1,
 ) -> List[ClusteringResult]:
     """Bounded-window pool driver with submission-order consumption.
 
-    At most ``window`` restarts are in flight; completions are consumed
-    strictly in submission order so the early-stopping decision — and
-    hence the returned prefix — cannot depend on pool scheduling.  Once
-    the rule fires, queued-but-unstarted restarts are cancelled and
-    anything already running is discarded.
+    Seeds are submitted in chunks of ``batch_size`` (one pool task fits
+    a whole chunk, amortizing per-task overhead for sub-ms fits).  At
+    most ``window`` chunks are in flight; completions are consumed
+    strictly in submission order, restart by restart, so the
+    early-stopping decision — and hence the returned prefix — cannot
+    depend on pool scheduling *or* on the chunking.  Once the rule
+    fires, the result list is truncated at the firing restart (a chunk's
+    surplus restarts are discarded), queued-but-unstarted chunks are
+    cancelled and anything already running is discarded — identical to
+    the unbatched prefix.
 
-    Callers pass ``window=len(seeds)`` when no early stopping is active
+    Callers pass ``window=n_chunks`` when no early stopping is active
     (everything is submitted upfront and the executor keeps all workers
     busy); the narrow ``window=workers`` is only worth its head-of-line
     submission gap when it bounds the work wasted past a stop decision.
     """
-    seeds = list(seeds)
+    chunks = _chunk_seeds(seeds, batch_size)
     clock = _StopClock(early_stopping)
     results: List[ClusteringResult] = []
     in_flight: deque[Future] = deque()
     next_idx = 0
-    while next_idx < len(seeds) and len(in_flight) < window:
-        in_flight.append(submit(seeds[next_idx]))
+    while next_idx < len(chunks) and len(in_flight) < window:
+        in_flight.append(submit(chunks[next_idx]))
         next_idx += 1
     while in_flight:
-        result = in_flight.popleft().result()
-        results.append(result)
-        if clock.should_stop(result.objective):
+        stopped = False
+        for result in in_flight.popleft().result():
+            results.append(result)
+            if clock.should_stop(result.objective):
+                stopped = True
+                break
+        if stopped:
             for future in in_flight:
                 future.cancel()
             break
-        if next_idx < len(seeds):
-            in_flight.append(submit(seeds[next_idx]))
+        if next_idx < len(chunks):
+            in_flight.append(submit(chunks[next_idx]))
             next_idx += 1
     return results
 
@@ -215,22 +260,29 @@ class ThreadBackend(ExecutionBackend):
 
     name = "threads"
 
-    def __init__(self, n_jobs: int):
+    def __init__(self, n_jobs: int, batch_size: int = 1):
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         self.n_jobs = int(n_jobs)
+        self.batch_size = int(batch_size)
 
     def run(self, clusterer, dataset, seeds, early_stopping=None):
         if self.n_jobs == 1 or len(seeds) == 1:
             return _run_serially(clusterer, dataset, seeds, early_stopping)
-        workers = min(self.n_jobs, len(seeds))
-        window = workers if early_stopping is not None else len(seeds)
+        n_chunks = len(_chunk_seeds(seeds, self.batch_size))
+        workers = min(self.n_jobs, n_chunks)
+        window = workers if early_stopping is not None else n_chunks
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return _drive_pool(
-                lambda s: pool.submit(clusterer.fit, dataset, seed=s),
+                lambda chunk: pool.submit(_fit_chunk, clusterer, dataset, chunk),
                 seeds,
                 early_stopping,
                 window=window,
+                batch_size=self.batch_size,
             )
 
 
@@ -315,6 +367,10 @@ def _init_shared_worker(payload: Dict[str, object]) -> None:
         shm, tensor = _attach_shared(payload["sample"])
         shms.append(shm)
         clusterer.sample_cache = tensor
+    if payload.get("pairwise") is not None:
+        shm, matrix = _attach_shared(payload["pairwise"])
+        shms.append(shm)
+        clusterer.pairwise_ed_cache = matrix
     # Keep the SharedMemory handles referenced for the process lifetime;
     # dropping them would invalidate the array views' buffers.
     _WORKER_STATE["shms"] = shms
@@ -322,28 +378,37 @@ def _init_shared_worker(payload: Dict[str, object]) -> None:
     _WORKER_STATE["dataset"] = dataset
 
 
-def _fit_shared(seed: int) -> ClusteringResult:
-    return _WORKER_STATE["clusterer"].fit(_WORKER_STATE["dataset"], seed=seed)
+def _fit_shared_chunk(seeds: Sequence[int]) -> List[ClusteringResult]:
+    return _fit_chunk(
+        _WORKER_STATE["clusterer"], _WORKER_STATE["dataset"], seeds
+    )
 
 
 class ProcessBackend(ExecutionBackend):
     """Process-pool execution over shared-memory tensors.
 
     Publication happens once per ``run``: the dataset's ``(n, m)``
-    moment matrices and — when the engine pinned one — the ``(n, S, m)``
-    sample tensor go into shared-memory blocks; workers attach by name.
-    The clusterer is pickled with its ``sample_cache`` stripped, so the
-    big tensor is never serialized (the backend tests assert this with
-    a pickle spy).  All blocks are unlinked when the run finishes,
-    including when a worker crashes.
+    moment matrices, the engine-pinned ``(n, S, m)`` sample tensor and
+    the ``(n, n)`` pairwise ``ÊD`` matrix (for ``wants_pairwise_ed``
+    algorithms, whether engine-injected or fixed at construction) go
+    into shared-memory blocks; workers attach by name.  The clusterer is
+    pickled with every big array stripped, so neither the tensor nor the
+    matrix is ever serialized (the backend tests assert this with pickle
+    spies).  All blocks are unlinked when the run finishes, including
+    when a worker crashes.
     """
 
     name = "processes"
 
-    def __init__(self, n_jobs: int):
+    def __init__(self, n_jobs: int, batch_size: int = 1):
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         self.n_jobs = int(n_jobs)
+        self.batch_size = int(batch_size)
         #: Specs of the most recent run's blocks — exposed so tests can
         #: verify they were unlinked.
         self.last_shared_specs: List[_ShmSpec] = []
@@ -351,7 +416,6 @@ class ProcessBackend(ExecutionBackend):
     def run(self, clusterer, dataset, seeds, early_stopping=None):
         if self.n_jobs == 1 or len(seeds) == 1:
             return _run_serially(clusterer, dataset, seeds, early_stopping)
-        workers = min(self.n_jobs, len(seeds))
         blocks: List[_SharedNDArray] = []
         try:
             moments = {
@@ -365,51 +429,142 @@ class ProcessBackend(ExecutionBackend):
             if tensor is not None:
                 sample_block = _SharedNDArray(np.asarray(tensor))
                 blocks.append(sample_block)
+            # The pairwise ÊD plane: engine-injected cache or the
+            # clusterer's own constructor matrix — published by name,
+            # and stripped below so it is never pickled.
+            strip = ["sample_cache"]
+            pairwise_block = None
+            if getattr(clusterer, "wants_pairwise_ed", False):
+                matrix = getattr(clusterer, "pairwise_ed_cache", None)
+                if matrix is None:
+                    matrix = getattr(clusterer, "precomputed", None)
+                if matrix is not None:
+                    pairwise_block = _SharedNDArray(np.asarray(matrix))
+                    blocks.append(pairwise_block)
+                    strip += ["pairwise_ed_cache", "precomputed"]
             payload = {
-                "clusterer": self._pickle_without_cache(clusterer),
+                "clusterer": self._pickle_without(clusterer, strip),
                 "dataset": pickle.dumps(dataset._moment_free_state()),
                 "moments": {key: blk.spec for key, blk in moments.items()},
                 "sample": None if sample_block is None else sample_block.spec,
+                "pairwise": (
+                    None if pairwise_block is None else pairwise_block.spec
+                ),
             }
             self.last_shared_specs = [blk.spec for blk in blocks]
-            window = workers if early_stopping is not None else len(seeds)
+            n_chunks = len(_chunk_seeds(seeds, self.batch_size))
+            workers = min(self.n_jobs, n_chunks)
+            window = workers if early_stopping is not None else n_chunks
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_shared_worker,
                 initargs=(payload,),
             ) as pool:
                 return _drive_pool(
-                    lambda s: pool.submit(_fit_shared, s),
+                    lambda chunk: pool.submit(_fit_shared_chunk, chunk),
                     seeds,
                     early_stopping,
                     window=window,
+                    batch_size=self.batch_size,
                 )
         finally:
             for block in blocks:
                 block.destroy()
 
     @staticmethod
-    def _pickle_without_cache(clusterer: UncertainClusterer) -> bytes:
-        """Pickle the clusterer with its sample tensor detached."""
-        cache = getattr(clusterer, "sample_cache", None)
-        if cache is None:
-            return pickle.dumps(clusterer)
-        clusterer.sample_cache = None
+    def _pickle_without(
+        clusterer: UncertainClusterer, attrs: Sequence[str]
+    ) -> bytes:
+        """Pickle the clusterer with the named big arrays detached."""
+        stripped = {}
+        for attr in attrs:
+            value = getattr(clusterer, attr, None)
+            if value is not None:
+                stripped[attr] = value
+                setattr(clusterer, attr, None)
         try:
             return pickle.dumps(clusterer)
         finally:
-            clusterer.sample_cache = cache
+            for attr, value in stripped.items():
+                setattr(clusterer, attr, value)
+
+
+class AutoBackend(ExecutionBackend):
+    """Per-algorithm-family backend dispatch, resolved per ``run``.
+
+    The right execution backend depends on the algorithm family, not the
+    engine call site: moment/tensor kernels scale on threads (NumPy
+    releases the GIL), interpreter-bound relocation loops need the
+    process pool, and sub-ms fits are fastest serial.  ``auto`` encodes
+    that routing table so callers can stop choosing:
+
+    * ``n_jobs == 1`` or a single restart → **serial** (nothing to
+      parallelize);
+    * ``n * m <= AUTO_SERIAL_ELEMENTS`` → **serial** (pool overhead
+      dominates sub-ms fits);
+    * otherwise the clusterer's declared ``preferred_backend`` family —
+      ``threads`` (the default) or ``processes`` (UCPC, UK-medoids,
+      UAHC).
+
+    Every candidate backend is result-identical for fixed seeds, so the
+    dispatch only ever changes wall-clock time; the backend-invariance
+    tests cover ``auto`` alongside the fixed choices.
+    """
+
+    name = "auto"
+
+    def __init__(self, n_jobs: int, batch_size: int = 1):
+        if n_jobs < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.n_jobs = int(n_jobs)
+        self.batch_size = int(batch_size)
+        #: Name of the backend the most recent ``run`` dispatched to.
+        self.last_resolved: Optional[str] = None
+
+    def resolve(
+        self,
+        clusterer: UncertainClusterer,
+        dataset: UncertainDataset,
+        n_restarts: int,
+    ) -> ExecutionBackend:
+        """The concrete backend one run-set dispatches to."""
+        n_samples = getattr(clusterer, "n_samples", None)
+        per_fit_elements = (
+            len(dataset) * dataset.dim * max(1, int(n_samples or 1))
+        )
+        if self.n_jobs == 1 or n_restarts <= 1:
+            choice = "serial"
+        elif per_fit_elements <= AUTO_SERIAL_ELEMENTS:
+            choice = "serial"
+        else:
+            choice = getattr(clusterer, "preferred_backend", "threads")
+            if choice not in ("threads", "processes"):
+                choice = "threads"
+        self.last_resolved = choice
+        return get_backend(choice, self.n_jobs, batch_size=self.batch_size)
+
+    def run(self, clusterer, dataset, seeds, early_stopping=None):
+        backend = self.resolve(clusterer, dataset, len(seeds))
+        return backend.run(clusterer, dataset, seeds, early_stopping)
 
 
 #: A backend argument: a name, an instance, or None (= legacy mapping).
 BackendLike = Union[str, ExecutionBackend, None]
 
 
-def get_backend(backend: BackendLike, n_jobs: int = 1) -> ExecutionBackend:
+def get_backend(
+    backend: BackendLike, n_jobs: int = 1, batch_size: int = 1
+) -> ExecutionBackend:
     """Resolve a backend spec to an :class:`ExecutionBackend` instance.
 
     ``None`` keeps the runner's historical behavior: serial for
-    ``n_jobs == 1``, the process pool otherwise.
+    ``n_jobs == 1``, the process pool otherwise.  ``batch_size`` sets
+    the in-worker restart chunking of the pool backends (ignored when an
+    already-constructed instance is passed, which keeps its own).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -418,9 +573,11 @@ def get_backend(backend: BackendLike, n_jobs: int = 1) -> ExecutionBackend:
     if backend == "serial":
         return SerialBackend()
     if backend == "threads":
-        return ThreadBackend(n_jobs)
+        return ThreadBackend(n_jobs, batch_size=batch_size)
     if backend == "processes":
-        return ProcessBackend(n_jobs)
+        return ProcessBackend(n_jobs, batch_size=batch_size)
+    if backend == "auto":
+        return AutoBackend(n_jobs, batch_size=batch_size)
     raise InvalidParameterError(
         f"unknown backend {backend!r}; known: {BACKEND_NAMES}"
     )

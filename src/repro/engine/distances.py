@@ -1,0 +1,82 @@
+"""Pairwise-distance plane: one shared ``ÊD`` matrix per run-set.
+
+The paper accounts UK-medoids' pairwise ``ÊD`` matrix as a one-time
+*off-line* phase (Lemma 3 / S12), like UK-means' moment precomputation
+and the sample-based algorithms' tensor draw.  The engine mirrors that
+accounting for multi-restart execution: algorithms declaring
+``wants_pairwise_ed = True`` expose a ``pairwise_ed_cache`` attribute,
+and the runner computes :meth:`UncertainDataset.pairwise_ed` **once**
+per run-set and pins it there — restarts then skip the O(n^2 m) matrix
+build entirely.  Under the process backend the matrix is published
+through :mod:`multiprocessing.shared_memory` (attach-by-name, never
+pickled), exactly like the moment matrices and the sample tensor.
+
+This module holds the small protocol helpers shared by the runner, the
+backends and the evaluation protocol; the matrix itself is cached on the
+(immutable) dataset so every consumer in a process reads one copy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.clustering.base import UncertainClusterer
+from repro.objects.dataset import UncertainDataset
+
+
+def needs_pairwise_ed(clusterer: UncertainClusterer) -> bool:
+    """Whether the engine must inject a shared ``ÊD`` matrix.
+
+    False when the algorithm does not consume the matrix, when a matrix
+    is already pinned in ``pairwise_ed_cache``, or when the caller fixed
+    one at construction time (``precomputed`` — e.g. a custom externally
+    computed matrix the engine must not shadow).
+    """
+    return (
+        getattr(clusterer, "wants_pairwise_ed", False)
+        and getattr(clusterer, "pairwise_ed_cache", None) is None
+        and getattr(clusterer, "precomputed", None) is None
+    )
+
+
+def resolve_pairwise_ed(
+    clusterer: UncertainClusterer,
+    dataset: UncertainDataset,
+    matrix: Optional[np.ndarray] = None,
+) -> Optional[np.ndarray]:
+    """The matrix to inject for one run-set, or None when not needed.
+
+    An explicitly provided ``matrix`` (e.g. the evaluation protocol's
+    scoring matrix) wins; otherwise the dataset's cached
+    :meth:`~repro.objects.dataset.UncertainDataset.pairwise_ed` is used,
+    so repeated run-sets over one dataset still compute it once.
+    """
+    if not needs_pairwise_ed(clusterer):
+        return None
+    if matrix is not None:
+        return np.asarray(matrix, dtype=np.float64)
+    return dataset.pairwise_ed()
+
+
+@contextmanager
+def pinned_pairwise_ed(
+    clusterer: UncertainClusterer, matrix: Optional[np.ndarray]
+) -> Iterator[None]:
+    """Temporarily pin ``matrix`` as the clusterer's shared ``ÊD`` plane.
+
+    No-op when ``matrix`` is None (from :func:`resolve_pairwise_ed`'s
+    "not needed" answer); otherwise the previous cache value is restored
+    on exit even if a fit raises.
+    """
+    if matrix is None:
+        yield
+        return
+    previous = getattr(clusterer, "pairwise_ed_cache", None)
+    clusterer.pairwise_ed_cache = matrix
+    try:
+        yield
+    finally:
+        clusterer.pairwise_ed_cache = previous

@@ -11,7 +11,12 @@ expensive, restart-invariant work out of the loop:
 * the **sample cache** is drawn once via
   :meth:`UncertainDataset.sample_tensor` and injected into sample-based
   algorithms (those exposing ``n_samples``/``sample_cache``), so ``S``
-  Monte-Carlo draws per object happen once instead of once per restart.
+  Monte-Carlo draws per object happen once instead of once per restart;
+* the **pairwise-distance plane** is computed once via
+  :meth:`UncertainDataset.pairwise_ed` and injected into algorithms
+  declaring ``wants_pairwise_ed`` (UK-medoids), so the O(n^2 m) ``ÊD``
+  matrix — an *off-line* phase in the paper's accounting, excluded from
+  every reported runtime — is never rebuilt per restart.
 
 Restarts are independent, so they execute through a pluggable
 :class:`~repro.engine.backends.ExecutionBackend` — serial, thread pool
@@ -34,6 +39,7 @@ import numpy as np
 from repro._typing import SeedLike
 from repro.clustering.base import ClusteringResult, UncertainClusterer
 from repro.engine.backends import BackendLike, EarlyStopping, get_backend
+from repro.engine.distances import pinned_pairwise_ed, resolve_pairwise_ed
 from repro.exceptions import InvalidParameterError
 from repro.objects.dataset import UncertainDataset
 
@@ -86,12 +92,24 @@ class MultiRestartRunner:
         across restarts when the algorithm is sample-based.  Restarts
         then differ only in initialization, mirroring how the paper
         fixes the sample sets while varying seeds.
+    share_pairwise:
+        Compute one :meth:`UncertainDataset.pairwise_ed` matrix and
+        share it across restarts when the algorithm declares
+        ``wants_pairwise_ed``.  The matrix is deterministic, so this
+        never changes results — disabling it (benchmarks, regression
+        tests) merely restores the pre-plane per-restart recompute.
     backend:
-        ``"serial"``, ``"threads"``, ``"processes"``, an
+        ``"serial"``, ``"threads"``, ``"processes"``, ``"auto"``
+        (per-algorithm-family dispatch), an
         :class:`~repro.engine.backends.ExecutionBackend` instance, or
         ``None`` for the historical mapping (serial when ``n_jobs ==
         1``, the process pool otherwise).  All backends return
         bit-identical results for fixed seeds.
+    batch_size:
+        Restarts submitted per pool task (in-worker batching):
+        completions are still consumed restart-by-restart in submission
+        order, so results are identical for every ``batch_size`` — the
+        knob only amortizes pool overhead for sub-ms fits.
     early_stopping:
         ``None`` (run every restart), an
         :class:`~repro.engine.backends.EarlyStopping` rule, or an int
@@ -106,24 +124,41 @@ class MultiRestartRunner:
         n_init: int = 10,
         n_jobs: int = 1,
         share_samples: bool = True,
+        share_pairwise: bool = True,
         backend: BackendLike = None,
         early_stopping: Optional[EarlyStopping | int] = None,
+        batch_size: int = 1,
     ):
         if n_init < 1:
             raise InvalidParameterError(f"n_init must be >= 1, got {n_init}")
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         self.clusterer = clusterer
         self.n_init = int(n_init)
         self.n_jobs = int(n_jobs)
         self.share_samples = bool(share_samples)
-        self.backend = get_backend(backend, self.n_jobs)
+        self.share_pairwise = bool(share_pairwise)
+        self.batch_size = int(batch_size)
+        self.backend = get_backend(backend, self.n_jobs, batch_size=self.batch_size)
         if isinstance(early_stopping, int):
             early_stopping = EarlyStopping(patience=early_stopping)
         self.early_stopping = early_stopping
+        #: Whether the most recent run injected a shared ÊD matrix —
+        #: provenance for the ``shared_pairwise_ed`` extras flag.
+        self._pairwise_injected = False
 
     # ------------------------------------------------------------------
-    def run(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
+    def run(
+        self,
+        dataset: UncertainDataset,
+        seed: SeedLike = None,
+        *,
+        pairwise_ed: Optional[np.ndarray] = None,
+    ) -> ClusteringResult:
         """Run every restart and return the best-objective result.
 
         The winner's ``extras`` gain ``n_init``, ``best_restart``,
@@ -138,6 +173,15 @@ class MultiRestartRunner:
         objective has not improved for ``patience`` completed restarts
         (evaluated in seed order, so the outcome is backend-invariant);
         ``restart_history`` then covers only the executed prefix.
+
+        ``pairwise_ed`` optionally supplies the shared ``ÊD`` matrix for
+        ``wants_pairwise_ed`` algorithms (callers that already hold it,
+        e.g. the evaluation protocol's scoring matrix); by default the
+        dataset's cached :meth:`~repro.objects.dataset.UncertainDataset.
+        pairwise_ed` is used.  A matrix the clusterer itself carries
+        (a pinned ``pairwise_ed_cache`` or constructor ``precomputed``)
+        is the most local intent and takes precedence — ``pairwise_ed``
+        is ignored then.
         """
         if self.n_init > 1 and not getattr(self.clusterer, "has_objective", True):
             warnings.warn(
@@ -152,6 +196,7 @@ class MultiRestartRunner:
         results = self._run_with_cache(
             dataset, restart_seeds, sample_seed, need_sample,
             early_stopping=self.early_stopping,
+            pairwise_ed=pairwise_ed,
         )
         return self._select_best(results, restart_seeds, self._shared(need_sample))
 
@@ -161,6 +206,7 @@ class MultiRestartRunner:
         seed: SeedLike = None,
         *,
         seeds: Optional[Sequence[SeedLike]] = None,
+        pairwise_ed: Optional[np.ndarray] = None,
     ) -> List[ClusteringResult]:
         """Run every restart and return *all* results, in restart order.
 
@@ -198,7 +244,10 @@ class MultiRestartRunner:
             # the shared draw) — ``need_sample`` alone decides whether
             # the tensor is drawn.
             sample_seed = seed
-        return self._run_with_cache(dataset, restart_seeds, sample_seed, need_sample)
+        return self._run_with_cache(
+            dataset, restart_seeds, sample_seed, need_sample,
+            pairwise_ed=pairwise_ed,
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -221,6 +270,21 @@ class MultiRestartRunner:
             need_sample
             or getattr(self.clusterer, "sample_cache", None) is not None
         )
+
+    def _pairwise_shared(self) -> bool:
+        """Whether restarts read one shared ``ÊD`` matrix.
+
+        Evaluated after the run (the engine-injected cache is restored
+        by then): True when the plane injected a matrix, or when the
+        caller pinned/fixed one themselves.
+        """
+        if not getattr(self.clusterer, "wants_pairwise_ed", False):
+            return False
+        if self._pairwise_injected:
+            return True
+        if getattr(self.clusterer, "pairwise_ed_cache", None) is not None:
+            return True
+        return getattr(self.clusterer, "precomputed", None) is not None
 
     def _derive_seeds(
         self, seed: SeedLike, need_sample: bool
@@ -249,18 +313,33 @@ class MultiRestartRunner:
         sample_seed: Optional[SeedLike],
         need_sample: bool,
         early_stopping: Optional[EarlyStopping] = None,
+        pairwise_ed: Optional[np.ndarray] = None,
     ) -> List[ClusteringResult]:
-        """Execute restarts with the shared tensor injected/restored.
+        """Execute restarts with the shared caches injected/restored.
 
         ``need_sample`` (not ``sample_seed``) gates the draw: a None
         seed with ``need_sample`` still draws one shared tensor, from
-        fresh entropy.
+        fresh entropy.  The pairwise ``ÊD`` plane is injected alongside
+        when the algorithm declares ``wants_pairwise_ed`` (and no matrix
+        is already pinned or fixed at construction).
         """
         cache: Optional[np.ndarray] = None
+        ed_matrix: Optional[np.ndarray] = None
         if need_sample:
             n_samples = int(self.clusterer.n_samples)
             cache = dataset.sample_tensor(n_samples, sample_seed)
             self.clusterer.sample_cache = cache
+        # ``share_pairwise=False`` disables only the *automatic*
+        # dataset-cache injection; an explicitly passed matrix is an
+        # explicit instruction and is honored regardless.  Either way
+        # the clusterer's own matrix (pinned cache or constructor
+        # ``precomputed``) always wins — resolve returns None then.
+        self._pairwise_injected = False
+        if self.share_pairwise or pairwise_ed is not None:
+            ed_matrix = resolve_pairwise_ed(self.clusterer, dataset, pairwise_ed)
+            if ed_matrix is not None:
+                self.clusterer.pairwise_ed_cache = ed_matrix
+                self._pairwise_injected = True
         try:
             return self.backend.run(
                 self.clusterer, dataset, restart_seeds,
@@ -269,6 +348,8 @@ class MultiRestartRunner:
         finally:
             if cache is not None:
                 self.clusterer.sample_cache = None
+            if ed_matrix is not None:
+                self.clusterer.pairwise_ed_cache = None
 
     def _select_best(
         self,
@@ -297,7 +378,11 @@ class MultiRestartRunner:
             best_restart=best_idx,
             engine_jobs=self.n_jobs,
             engine_backend=self.backend.name,
+            # A pre-constructed backend instance keeps its own chunking
+            # (get_backend ignores the runner's batch_size for it).
+            engine_batch_size=getattr(self.backend, "batch_size", self.batch_size),
             shared_samples=shared,
+            shared_pairwise_ed=self._pairwise_shared(),
             restarts_executed=len(results),
             early_stopped=len(results) < self.n_init,
             restart_history=[asdict(record) for record in history],
@@ -326,16 +411,20 @@ def fit_runs(
     share_samples: Optional[bool] = None,
     n_jobs: int = 1,
     backend: BackendLike = None,
+    batch_size: int = 1,
+    pairwise_ed: Optional[np.ndarray] = None,
 ) -> List[ClusteringResult]:
     """Fit ``clusterer`` once per seed, optionally through the engine.
 
     The uniform multi-run entry point of the experiment runners: with
     ``engine=True`` (default) the fits execute through
     :meth:`MultiRestartRunner.run_all`, sharing the dataset's moment
-    matrices and — for sample-based algorithms — one sample tensor
-    drawn from ``sample_seed``; with ``engine=False`` each seed is
-    fitted directly (the pre-engine idiom, kept as the reference path
-    for the routing-equivalence tests).
+    matrices, — for sample-based algorithms — one sample tensor drawn
+    from ``sample_seed``, and — for ``wants_pairwise_ed`` algorithms —
+    one pairwise ``ÊD`` matrix (``pairwise_ed``, or the dataset's cached
+    one); with ``engine=False`` each seed is fitted directly (the
+    pre-engine idiom, kept as the reference path for the
+    routing-equivalence tests).
 
     ``share_samples=None`` resolves per algorithm: algorithms whose
     only randomness is the Monte-Carlo draw
@@ -347,13 +436,24 @@ def fit_runs(
     path for both the moment-based *and* the sample-deterministic
     algorithms.
 
-    ``backend`` selects the execution backend for the series (see
-    :class:`MultiRestartRunner`); every backend is result-identical for
-    fixed seeds, so the choice only affects wall-clock time.
+    ``backend``/``batch_size`` select the execution backend and the
+    in-worker restart chunking for the series (see
+    :class:`MultiRestartRunner`); every backend and every chunking is
+    result-identical for fixed seeds, so the choice only affects
+    wall-clock time.
     """
     seeds = list(seeds)
     if not engine:
-        return [clusterer.fit(dataset, seed=s) for s in seeds]
+        if pairwise_ed is None:
+            return [clusterer.fit(dataset, seed=s) for s in seeds]
+        # The reference path keeps its per-fit recompute semantics, but
+        # an *explicit* matrix must mean the same thing in both modes —
+        # otherwise engine=False stops being the bit-identical
+        # routing-equivalence baseline for callers handing one in.
+        with pinned_pairwise_ed(
+            clusterer, resolve_pairwise_ed(clusterer, dataset, pairwise_ed)
+        ):
+            return [clusterer.fit(dataset, seed=s) for s in seeds]
     if share_samples is None:
         share_samples = not getattr(clusterer, "sample_randomness_only", False)
     runner = MultiRestartRunner(
@@ -362,5 +462,8 @@ def fit_runs(
         n_jobs=n_jobs,
         share_samples=share_samples,
         backend=backend,
+        batch_size=batch_size,
     )
-    return runner.run_all(dataset, seed=sample_seed, seeds=seeds)
+    return runner.run_all(
+        dataset, seed=sample_seed, seeds=seeds, pairwise_ed=pairwise_ed
+    )

@@ -22,10 +22,11 @@ import numpy as np
 from repro._typing import SeedLike
 from repro.clustering.base import UncertainClusterer
 from repro.datagen.uncertainty_gen import UncertainDataPair
+from repro.engine.distances import pinned_pairwise_ed, resolve_pairwise_ed
 from repro.evaluation.external import f_measure
 from repro.evaluation.internal import internal_scores
 from repro.exceptions import InvalidParameterError
-from repro.objects.distance import pairwise_squared_expected_distances
+from repro.objects.distance import validate_pairwise_ed
 from repro.utils.rng import spawn_rngs
 
 
@@ -73,18 +74,34 @@ def evaluate_theta(
         Seeds both runs (independently spawned).
     distances:
         Optional precomputed ``ÊD`` matrix of ``pair.uncertain`` for the
-        internal criterion.
+        internal criterion; defaults to the dataset's cached
+        :meth:`~repro.objects.dataset.UncertainDataset.pairwise_ed`.
+        For ``wants_pairwise_ed`` algorithms (UK-medoids) the same
+        matrix is threaded into the Case-2 fit — and ``pair.perturbed``'s
+        cached matrix into the Case-1 fit — so neither fit rebuilds the
+        O(n^2 m) matrix the protocol already holds.
     """
     reference = pair.uncertain.labels
     if reference is None:
         raise InvalidParameterError(
             "the protocol needs reference labels on the uncertain dataset"
         )
-    rng1, rng2 = spawn_rngs(seed, 2)
-    result_case1 = algorithm.fit(pair.perturbed, seed=rng1)
-    result_case2 = algorithm.fit(pair.uncertain, seed=rng2)
     if distances is None:
-        distances = pairwise_squared_expected_distances(pair.uncertain)
+        distances = pair.uncertain.pairwise_ed()
+    else:
+        # The supplied matrix now feeds the Case-2 *fits*, not just the
+        # internal criterion — reject non-ÊD garbage loudly rather than
+        # silently clustering on it.
+        distances = validate_pairwise_ed(distances, len(pair.uncertain), "distances")
+    rng1, rng2 = spawn_rngs(seed, 2)
+    with pinned_pairwise_ed(
+        algorithm, resolve_pairwise_ed(algorithm, pair.perturbed)
+    ):
+        result_case1 = algorithm.fit(pair.perturbed, seed=rng1)
+    with pinned_pairwise_ed(
+        algorithm, resolve_pairwise_ed(algorithm, pair.uncertain, distances)
+    ):
+        result_case2 = algorithm.fit(pair.uncertain, seed=rng2)
     internal = internal_scores(pair.uncertain, result_case2.labels, distances)
     return ThetaResult(
         f_case1=f_measure(result_case1.labels, reference),
@@ -115,6 +132,7 @@ def evaluate_theta_multirun(
     engine: bool = True,
     backend: str = "serial",
     n_jobs: int = 1,
+    batch_size: int = 1,
 ) -> AveragedThetaResult:
     """Average the paired protocol over independent runs.
 
@@ -133,15 +151,26 @@ def evaluate_theta_multirun(
     moment-based and sample-deterministic algorithms produce identical
     averages either way.
 
-    ``backend``/``n_jobs`` pick the execution backend for the two fit
-    series (:mod:`repro.engine.backends`).  Backends are
-    result-identical for fixed seeds, so at the paper's 50-run protocol
-    they change only how long the measurement takes.
+    The scoring ``ÊD`` matrix is computed once (or taken from
+    ``distances``) and reused everywhere it appears: the internal
+    criterion of every run *and* — for ``wants_pairwise_ed`` algorithms
+    — the Case-2 fits themselves, with ``pair.perturbed``'s own cached
+    matrix threaded into the Case-1 fits.  Neither of the ``2 x
+    n_runs`` fits rebuilds a matrix the protocol already holds.
+
+    ``backend``/``n_jobs``/``batch_size`` pick the execution backend
+    (including ``"auto"``) and in-worker restart chunking for the two
+    fit series (:mod:`repro.engine.backends`).  Backends and chunkings
+    are result-identical for fixed seeds, so at the paper's 50-run
+    protocol they change only how long the measurement takes.
     """
     if n_runs < 1:
         raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
     if distances is None:
-        distances = pairwise_squared_expected_distances(pair.uncertain)
+        distances = pair.uncertain.pairwise_ed()
+    else:
+        # See evaluate_theta: the matrix feeds the Case-2 fits too.
+        distances = validate_pairwise_ed(distances, len(pair.uncertain), "distances")
     reference = pair.uncertain.labels
     if reference is None:
         raise InvalidParameterError(
@@ -170,6 +199,7 @@ def evaluate_theta_multirun(
             sample_seed=sample_rng1,
             backend=backend,
             n_jobs=n_jobs,
+            batch_size=batch_size,
         )
         results_case2 = fit_runs(
             algorithm,
@@ -178,6 +208,8 @@ def evaluate_theta_multirun(
             sample_seed=sample_rng2,
             backend=backend,
             n_jobs=n_jobs,
+            batch_size=batch_size,
+            pairwise_ed=distances,
         )
         for run, (case1, case2) in enumerate(zip(results_case1, results_case2)):
             thetas[run] = f_measure(case2.labels, reference) - f_measure(

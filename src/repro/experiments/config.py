@@ -119,13 +119,18 @@ class ExperimentConfig:
         either way.
     backend:
         Execution backend for the engine-routed fit series:
-        ``"serial"`` (default), ``"threads"`` or ``"processes"`` (see
+        ``"serial"`` (default), ``"threads"``, ``"processes"`` or
+        ``"auto"`` — per-algorithm-family dispatch — (see
         :mod:`repro.engine.backends`).  Backends are result-identical
         for fixed seeds, so this knob only changes wall-clock time —
         the paper-scale 50-run protocols are where it pays off.
     n_jobs:
         Worker count for the parallel backends (ignored by
         ``"serial"``).
+    batch_size:
+        Restarts submitted per pool task (in-worker batching; see
+        :class:`repro.engine.MultiRestartRunner`).  Result-identical
+        for any value — amortizes pool overhead for sub-ms fits.
     """
 
     scale: float = 1.0
@@ -138,6 +143,7 @@ class ExperimentConfig:
     engine: bool = True
     backend: str = "serial"
     n_jobs: int = 1
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         from repro.engine.backends import BACKEND_NAMES
@@ -156,3 +162,7 @@ class ExperimentConfig:
             )
         if self.n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )

@@ -128,6 +128,7 @@ def run_figure5(
                 sample_seed=streams[-1],
                 backend=config.backend,
                 n_jobs=config.n_jobs,
+                batch_size=config.batch_size,
             )
             times = np.array([result.runtime_seconds for result in results])
             report.runtimes_ms[(frac, alg_name)] = float(times.mean() * 1e3)

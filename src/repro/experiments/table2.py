@@ -25,7 +25,6 @@ from repro.datagen.benchmarks import make_benchmark
 from repro.datagen.uncertainty_gen import PDF_FAMILIES, UncertaintyGenerator
 from repro.evaluation.protocol import evaluate_theta_multirun
 from repro.experiments.config import ACCURACY_ROSTER, ExperimentConfig, build_algorithm
-from repro.objects.distance import pairwise_squared_expected_distances
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_table
 
@@ -157,7 +156,10 @@ def run_table2(
             )
             pair = generator.generate(points, labels, seed=rng)
             n_classes = int(np.unique(labels).size)
-            distances = pairwise_squared_expected_distances(pair.uncertain)
+            # The dataset-cached plane: the same matrix scores every
+            # algorithm's internal criterion *and* feeds UK-medoids'
+            # fits (threaded through evaluate_theta_multirun).
+            distances = pair.uncertain.pairwise_ed()
             for alg_name in algorithms:
                 algorithm = build_algorithm(
                     alg_name, n_clusters=n_classes, n_samples=config.n_samples
@@ -171,6 +173,7 @@ def run_table2(
                     engine=config.engine,
                     backend=config.backend,
                     n_jobs=config.n_jobs,
+                    batch_size=config.batch_size,
                 )
                 report.cells[(ds_name, family, alg_name)] = Table2Cell(
                     theta=outcome.theta_mean, quality=outcome.quality_mean

@@ -19,7 +19,6 @@ from repro.datagen.microarray import make_microarray
 from repro.engine import fit_runs
 from repro.evaluation.internal import internal_scores
 from repro.experiments.config import ACCURACY_ROSTER, ExperimentConfig, build_algorithm
-from repro.objects.distance import pairwise_squared_expected_distances
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_table
 
@@ -115,7 +114,9 @@ def run_table3(
         dataset = make_microarray(
             ds_name, scale=config.scale, mass=config.mass, seed=ds_rng
         )
-        distances = pairwise_squared_expected_distances(dataset)
+        # Dataset-cached plane: scores every cell's internal criterion
+        # and feeds UK-medoids' engine-routed fits below.
+        distances = dataset.pairwise_ed()
         for k in cluster_counts:
             k_eff = min(k, len(dataset) - 1)
             for alg_name in algorithms:
@@ -135,6 +136,8 @@ def run_table3(
                     sample_seed=streams[-1],
                     backend=config.backend,
                     n_jobs=config.n_jobs,
+                    batch_size=config.batch_size,
+                    pairwise_ed=distances,
                 )
                 scores = np.array(
                     [

@@ -45,6 +45,7 @@ class UncertainDataset:
         "_total_var",
         "_labels",
         "_sampling_plan",
+        "_pairwise_ed",
     )
 
     def __init__(self, objects: Sequence[UncertainObject]):
@@ -70,6 +71,7 @@ class UncertainDataset:
         else:
             self._labels = None
         self._sampling_plan = None
+        self._pairwise_ed = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -163,6 +165,29 @@ class UncertainDataset:
         return self._sampling_plan.sample(n_samples, seed)
 
     # ------------------------------------------------------------------
+    # Pairwise-distance plane
+    # ------------------------------------------------------------------
+    def pairwise_ed(self) -> FloatArray:
+        """The ``(n, n)`` ``ÊD`` matrix, computed once and cached.
+
+        This is the off-line phase of UK-medoids (Lemma 3) lifted to the
+        dataset, mirroring the moment matrices and the sampling plan:
+        the matrix is deterministic for an immutable dataset, so every
+        consumer — engine restarts, the internal validity criteria, the
+        Case-1/Case-2 protocol — reads one shared read-only copy instead
+        of rebuilding the O(n^2 m) matrix per use.  Computed lazily on
+        first call (it is O(n^2) memory, and the moment-based algorithms
+        never need it).
+        """
+        from repro.objects.distance import pairwise_squared_expected_distances
+
+        if self._pairwise_ed is None:
+            matrix = pairwise_squared_expected_distances(self)
+            matrix.setflags(write=False)
+            self._pairwise_ed = matrix
+        return self._pairwise_ed
+
+    # ------------------------------------------------------------------
     # Shared-memory reconstruction (process execution backend)
     # ------------------------------------------------------------------
     def _moment_free_state(self):
@@ -198,6 +223,7 @@ class UncertainDataset:
             labels.setflags(write=False)
         dataset._labels = labels
         dataset._sampling_plan = None
+        dataset._pairwise_ed = None
         return dataset
 
     # ------------------------------------------------------------------

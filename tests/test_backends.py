@@ -18,10 +18,11 @@ from multiprocessing import shared_memory
 import numpy as np
 import pytest
 
-from repro.clustering import BasicUKMeans, MinMaxBB, UKMeans
+from repro.clustering import BasicUKMeans, MinMaxBB, UKMeans, UKMedoids
 from repro.datagen import make_blobs_uncertain
 from repro.engine import (
     BACKEND_NAMES,
+    AutoBackend,
     EarlyStopping,
     MultiRestartRunner,
     ProcessBackend,
@@ -117,6 +118,34 @@ class TestBackendInvariance:
             assert result.extras["engine_backend"] == backend
             _assert_same_result(reference, result)
 
+    @pytest.mark.parametrize("early_stopping", [None, 2])
+    @pytest.mark.parametrize("batch_size", [2, 3, 5])
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UKMeans(4),
+            lambda: BasicUKMeans(4, n_samples=16),
+            lambda: UKMedoids(4),  # pairwise-plane roster
+        ],
+    )
+    def test_in_worker_batching_bit_identical(
+        self, data, factory, batch_size, early_stopping
+    ):
+        """batch_size must never change the result — including the
+        early-stopped prefix, whose stopping restart can land in the
+        middle of a chunk."""
+        reference = MultiRestartRunner(
+            factory(), n_init=5, backend="serial",
+            early_stopping=early_stopping,
+        ).run(data, seed=7)
+        for backend, n_jobs in (("threads", 3), ("processes", 2)):
+            result = MultiRestartRunner(
+                factory(), n_init=5, n_jobs=n_jobs, backend=backend,
+                early_stopping=early_stopping, batch_size=batch_size,
+            ).run(data, seed=7)
+            assert result.extras["engine_batch_size"] == batch_size
+            _assert_same_result(reference, result)
+
     def test_pruning_variant_across_backends(self, data):
         reference = MultiRestartRunner(
             MinMaxBB(4, n_samples=16), n_init=4, backend="serial"
@@ -203,12 +232,32 @@ class TestEarlyStopping:
                 == reference.extras["early_stopped"]
             )
 
+    def test_deterministic_under_out_of_order_batches(self, data):
+        """Same hazard with whole chunks completing out of order."""
+        reference = MultiRestartRunner(
+            JitterUKMeans(4), n_init=8, backend="serial", early_stopping=1
+        ).run(data, seed=21)
+        for backend, n_jobs in (("threads", 4), ("processes", 2)):
+            result = MultiRestartRunner(
+                JitterUKMeans(4), n_init=8, n_jobs=n_jobs, backend=backend,
+                early_stopping=1, batch_size=3,
+            ).run(data, seed=21)
+            _assert_same_result(reference, result)
+
     def test_run_all_ignores_early_stopping(self, data):
         """run_all is a measurement surface: it must never truncate."""
         runner = MultiRestartRunner(
             UKMeans(4), n_init=6, early_stopping=1
         )
         assert len(runner.run_all(data, seed=3)) == 6
+
+    def test_instance_backend_batch_size_reported(self, data):
+        """extras must report the chunking that actually executed — a
+        pre-constructed backend instance keeps its own batch_size."""
+        result = MultiRestartRunner(
+            UKMeans(4), n_init=4, backend=ThreadBackend(2, batch_size=2)
+        ).run(data, seed=3)
+        assert result.extras["engine_batch_size"] == 2
 
     def test_int_shorthand(self, data):
         runner = MultiRestartRunner(UKMeans(4), n_init=2, early_stopping=3)
@@ -293,6 +342,51 @@ class TestProcessBackendSharedMemory:
             runner.run(data, seed=2)
         self._assert_blocks_unlinked(backend)
 
+    def test_pairwise_matrix_not_pickled(self, data):
+        """Serialization spy for the distance plane: with the ÊD matrix
+        pinned as a pickle trap, the processes run still succeeds
+        (shared memory) and matches the serial result from the same
+        matrix."""
+        matrix = data.pairwise_ed()
+        trapped = UKMedoids(4)
+        trapped.pairwise_ed_cache = matrix.view(_PickleTrap)
+        via_processes = MultiRestartRunner(
+            trapped, n_init=4, n_jobs=2, backend="processes"
+        ).run(data, seed=2)
+        plain = UKMedoids(4)
+        plain.pairwise_ed_cache = matrix
+        via_serial = MultiRestartRunner(
+            plain, n_init=4, backend="serial"
+        ).run(data, seed=2)
+        _assert_same_result(via_serial, via_processes)
+        # The trap must still be armed (pin restored after the run).
+        with pytest.raises(AssertionError, match="shared memory"):
+            import pickle
+
+            pickle.dumps(trapped.pairwise_ed_cache)
+
+    def test_precomputed_matrix_not_pickled(self, data):
+        """The constructor-fixed matrix rides shared memory too."""
+        trapped = UKMedoids(4, precomputed=data.pairwise_ed())
+        trapped.precomputed = trapped.precomputed.view(_PickleTrap)
+        via_processes = MultiRestartRunner(
+            trapped, n_init=4, n_jobs=2, backend="processes"
+        ).run(data, seed=2)
+        reference = MultiRestartRunner(
+            UKMedoids(4, precomputed=data.pairwise_ed()),
+            n_init=4, backend="serial",
+        ).run(data, seed=2)
+        _assert_same_result(reference, via_processes)
+
+    def test_pairwise_block_published_and_unlinked(self, data):
+        backend = ProcessBackend(n_jobs=2)
+        MultiRestartRunner(UKMedoids(4), n_init=4, backend=backend).run(
+            data, seed=2
+        )
+        # Moment matrices + the engine-injected ÊD matrix.
+        assert len(backend.last_shared_specs) == 4
+        self._assert_blocks_unlinked(backend)
+
     def test_worker_dataset_views_match_parent(self, data):
         """Workers rebuild the dataset around shared views; fitting the
         same seeds through them must equal in-process fits."""
@@ -311,7 +405,8 @@ class TestGetBackend:
         assert get_backend("serial", 1).name == "serial"
         assert get_backend("threads", 2).name == "threads"
         assert get_backend("processes", 2).name == "processes"
-        assert set(BACKEND_NAMES) == {"serial", "threads", "processes"}
+        assert get_backend("auto", 2).name == "auto"
+        assert set(BACKEND_NAMES) == {"serial", "threads", "processes", "auto"}
 
     def test_none_maps_to_legacy_choice(self):
         assert isinstance(get_backend(None, 1), SerialBackend)
@@ -330,3 +425,68 @@ class TestGetBackend:
             ThreadBackend(0)
         with pytest.raises(InvalidParameterError):
             ProcessBackend(0)
+        with pytest.raises(InvalidParameterError):
+            AutoBackend(0)
+
+    def test_invalid_batch_size_rejected(self):
+        for factory in (ThreadBackend, ProcessBackend, AutoBackend):
+            with pytest.raises(InvalidParameterError):
+                factory(2, batch_size=0)
+        with pytest.raises(InvalidParameterError):
+            MultiRestartRunner(UKMeans(4), batch_size=0)
+
+
+class TestAutoBackend:
+    """Per-algorithm-family dispatch of the ``auto`` backend."""
+
+    @pytest.fixture(scope="class")
+    def big_data(self):
+        # n * m above AUTO_SERIAL_ELEMENTS so auto reaches the family
+        # dispatch instead of short-circuiting to serial.
+        return make_blobs_uncertain(
+            n_objects=400, n_clusters=4, n_attributes=16, separation=2.5,
+            seed=13,
+        )
+
+    def test_serial_when_single_worker_or_restart(self, data):
+        backend = AutoBackend(n_jobs=1)
+        backend.resolve(UKMeans(4), data, n_restarts=8)
+        assert backend.last_resolved == "serial"
+        backend = AutoBackend(n_jobs=4)
+        backend.resolve(UKMeans(4), data, n_restarts=1)
+        assert backend.last_resolved == "serial"
+
+    def test_serial_for_sub_ms_fits(self, data):
+        # n=90, m=2 is far below the AUTO_SERIAL_ELEMENTS floor.
+        backend = AutoBackend(n_jobs=4)
+        backend.resolve(UKMeans(4), data, n_restarts=8)
+        assert backend.last_resolved == "serial"
+
+    def test_family_dispatch(self, big_data):
+        from repro.clustering import UAHC, UCPC
+
+        backend = AutoBackend(n_jobs=4)
+        backend.resolve(UKMeans(4), big_data, n_restarts=8)
+        assert backend.last_resolved == "threads"
+        backend.resolve(BasicUKMeans(4, n_samples=8), big_data, n_restarts=8)
+        assert backend.last_resolved == "threads"
+        for interpreter_bound in (UKMedoids(4), UCPC(4), UAHC(4)):
+            backend.resolve(interpreter_bound, big_data, n_restarts=8)
+            assert backend.last_resolved == "processes"
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: UKMeans(4), lambda: UKMedoids(4)]
+    )
+    def test_auto_bit_identical_to_serial(self, big_data, factory):
+        """auto must keep the backend-invariance promise across both
+        dispatch families (threads for UK-means, processes for
+        UK-medoids)."""
+        reference = MultiRestartRunner(
+            factory(), n_init=4, backend="serial"
+        ).run(big_data, seed=11)
+        auto = AutoBackend(n_jobs=2)
+        result = MultiRestartRunner(
+            factory(), n_init=4, n_jobs=2, backend=auto
+        ).run(big_data, seed=11)
+        assert auto.last_resolved in ("threads", "processes")
+        _assert_same_result(reference, result)

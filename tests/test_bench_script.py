@@ -40,6 +40,7 @@ def test_run_bench_quick_emits_schema_json(tmp_path):
     # and the hierarchical kernel.
     by_name = {entry["name"]: entry for entry in payload["benchmarks"]}
     assert by_name["sample_tensor_batched"]["speedup"] > 0
+    assert by_name["ukmedoids_plane_shared"]["speedup"] > 0
     assert {
         "sample_tensor_batched",
         "multi_restart_shared_cache",
@@ -47,6 +48,8 @@ def test_run_bench_quick_emits_schema_json(tmp_path):
         "backend_serial_ukmeans_restarts",
         "backend_threads_ukmeans_restarts",
         "backend_processes_ukmeans_restarts",
+        "ukmedoids_plane_shared",
+        "ukmedoids_plane_recompute",
         "uahc_jeffreys_fit",
     } <= names
     assert all(entry["seconds"] > 0 for entry in payload["benchmarks"])
