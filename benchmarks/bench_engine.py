@@ -23,7 +23,12 @@ Pins the claims the engine layer makes:
   matrix across an engine run-set: a paper-scale multi-restart run
   (n=2000, n_init=8) with the shared plane is asserted >= 4x faster
   than the pre-plane per-restart recompute it replaced — same seeds,
-  bit-identical results.
+  bit-identical results;
+* the sweep orchestrator runs a small paper grid (2 microarray
+  datasets x 3 algorithms x 2 cluster counts at paper-shaped scale)
+  >= 2x faster than the same cells executed as isolated per-cell runs
+  (each regenerating its dataset and rebuilding the
+  moment/plan/``ÊD`` caches) — with bit-identical cell values.
 """
 
 from __future__ import annotations
@@ -372,6 +377,95 @@ def test_pairwise_plane_speedup_floor(medoid_data):
     assert speedup >= 4.0, (
         f"pairwise-plane speedup {speedup:.1f}x below the 4x floor "
         f"(shared {shared * 1e3:.0f} ms, recompute {recompute * 1e3:.0f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep orchestrator: shared dataset groups vs isolated per-cell runs.
+# ----------------------------------------------------------------------
+SWEEP_DATASETS = ("neuroblastoma", "leukaemia")
+SWEEP_KS = (25, 30)
+SWEEP_ALGORITHMS = ("UKmed", "UKM", "MMV")
+
+
+def _sweep_config():
+    from repro.experiments import ExperimentConfig
+
+    # scale=0.05 puts both microarray stand-ins at paper-shaped size
+    # (~1.1k genes); n_runs=1 keeps the grid's on-line fits small next
+    # to the per-dataset off-line work the orchestrator amortizes.
+    return ExperimentConfig(scale=0.05, n_runs=1, n_samples=8, seed=11)
+
+
+def _orchestrated_grid():
+    """One `repro sweep` schedule over the small grid (fresh store)."""
+    import tempfile
+
+    from repro.engine.sweep import SweepGrid, Table3Spec, run_sweep
+
+    grid = SweepGrid(
+        table3=Table3Spec(
+            config=_sweep_config(),
+            datasets=SWEEP_DATASETS,
+            cluster_counts=SWEEP_KS,
+            algorithms=SWEEP_ALGORITHMS,
+        )
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        return run_sweep(grid, os.path.join(tmp, "store")).table3.quality
+
+
+def _isolated_cells():
+    """The pre-orchestrator idiom: every cell is an isolated run.
+
+    Each cell re-derives its own seed streams from scratch, regenerates
+    the dataset (fresh moment matrices, fresh sampling plan) and
+    rebuilds the scoring ``ÊD`` matrix — exactly what running each grid
+    cell as its own `fit_runs` invocation costs.
+    """
+    from repro.experiments.table3 import (
+        prepare_table3_group,
+        run_table3_cell,
+        skip_table3_cell,
+    )
+    from repro.objects.distance import pairwise_squared_expected_distances
+    from repro.utils.rng import spawn_rngs
+
+    config = _sweep_config()
+    quality = {}
+    for ds_idx, ds_name in enumerate(SWEEP_DATASETS):
+        cell_pos = 0
+        for k in SWEEP_KS:
+            for alg in SWEEP_ALGORITHMS:
+                ds_rng = spawn_rngs(config.seed, len(SWEEP_DATASETS))[ds_idx]
+                dataset = prepare_table3_group(ds_name, ds_rng, config)
+                for _ in range(cell_pos):
+                    skip_table3_cell(ds_rng, config)
+                distances = pairwise_squared_expected_distances(dataset)
+                quality[(ds_name, k, alg)] = run_table3_cell(
+                    alg, dataset, k, ds_rng, config, distances
+                )
+                cell_pos += 1
+    return quality
+
+
+def test_sweep_orchestrator_speedup_floor():
+    """Acceptance pin: the orchestrated small grid (2 datasets x 3
+    algorithms x 2 cluster counts, paper-shaped microarrays) runs
+    >= 2x faster than the same cells as isolated per-cell runs — and
+    every cell value is bit-identical, since the orchestrator executes
+    the runners' own cell executors on the same seed streams."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        orchestrated_values = _orchestrated_grid()
+        isolated_values = _isolated_cells()
+        assert orchestrated_values == isolated_values
+        orchestrated = _best_of(_orchestrated_grid, repeats=2)
+        isolated = _best_of(_isolated_cells, repeats=2)
+    speedup = isolated / orchestrated
+    assert speedup >= 2.0, (
+        f"sweep orchestrator speedup {speedup:.1f}x below the 2x floor "
+        f"(orchestrated {orchestrated:.2f} s, isolated {isolated:.2f} s)"
     )
 
 

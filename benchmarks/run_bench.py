@@ -56,6 +56,59 @@ from repro.utils.rng import ensure_rng
 #: Bumped whenever a measurement's name or meaning changes.
 SCHEMA_VERSION = 1
 
+#: The fixed measurement roster.  ``run_benchmarks`` must emit exactly
+#: these names; the overwrite guard in :func:`main` compares an existing
+#: snapshot against them *before* running anything, so a snapshot from a
+#: different roster (or schema) is never silently clobbered.
+MEASUREMENT_NAMES = (
+    "sample_tensor_batched",
+    "sample_tensor_per_object",
+    "multi_restart_shared_cache",
+    "multi_restart_fresh_samples",
+    "fdbscan_ported_fit",
+    "backend_serial_ukmeans_restarts",
+    "backend_threads_ukmeans_restarts",
+    "backend_processes_ukmeans_restarts",
+    "ukmedoids_plane_shared",
+    "ukmedoids_plane_recompute",
+    "uahc_jeffreys_fit",
+)
+
+
+def snapshot_conflict(path: Path) -> Optional[str]:
+    """Why overwriting the snapshot at ``path`` would lose information.
+
+    Returns ``None`` when the existing file is a like-for-like snapshot
+    (same schema version, same measurement roster) — the normal CI
+    refresh — and a human-readable reason otherwise: an unreadable
+    file, a different schema version, or a different roster all mean
+    the committed trajectory would silently change meaning.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as error:
+        return f"existing file is not readable benchmark JSON ({error})"
+    if not isinstance(payload, dict):
+        return "existing file is not a benchmark snapshot object"
+    if payload.get("schema") != SCHEMA_VERSION:
+        return (
+            f"existing schema version {payload.get('schema')!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    existing = {
+        entry.get("name")
+        for entry in payload.get("benchmarks", [])
+        if isinstance(entry, dict)
+    }
+    if existing != set(MEASUREMENT_NAMES):
+        missing = sorted(set(MEASUREMENT_NAMES) - existing)
+        extra = sorted(existing - set(MEASUREMENT_NAMES))
+        return (
+            "existing measurement roster differs "
+            f"(missing: {missing or '-'}, extra: {extra or '-'})"
+        )
+    return None
+
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
     timings = []
@@ -241,6 +294,12 @@ def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
         n=len(uahc_data),
         m=5,
     )
+    emitted = {entry["name"] for entry in records}
+    assert emitted == set(MEASUREMENT_NAMES), (
+        "run_benchmarks drifted from MEASUREMENT_NAMES; update the "
+        f"roster constant and bump SCHEMA_VERSION (diff: "
+        f"{emitted ^ set(MEASUREMENT_NAMES)})"
+    )
     return records
 
 
@@ -256,7 +315,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="quarter-size datasets, fewer repeats (CI smoke)",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing snapshot even when its schema "
+        "version or measurement roster differs from this script's",
+    )
     args = parser.parse_args(argv)
+
+    output = Path(args.output)
+    if output.exists() and not args.force:
+        conflict = snapshot_conflict(output)
+        if conflict is not None:
+            print(
+                f"refusing to overwrite {output}: {conflict}\n"
+                "(re-run with --force to overwrite anyway)",
+                file=sys.stderr,
+            )
+            return 2
 
     records = run_benchmarks(quick=args.quick)
     payload = {

@@ -39,11 +39,33 @@ from repro.experiments.table2 import TABLE2_DATASETS
 from repro.experiments.table3 import TABLE3_CLUSTER_COUNTS, TABLE3_DATASETS
 
 
+def _batch_size_arg(value: str):
+    """--batch-size values: a positive int or the literal 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {parsed}"
+        )
+    return parsed
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--runs", type=int, default=5, help="runs per cell")
     parser.add_argument("--seed", type=int, default=2012, help="master seed")
     parser.add_argument(
-        "--scale", type=float, default=1.0, help="dataset scale in (0, 1]"
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale in (0, 1]; defaults to 1.0 (table3/figure4 "
+        "and the sweep cap their *default* for laptop runtimes — an "
+        "explicit value, including 1.0, is always honored)",
     )
     parser.add_argument(
         "--max-objects",
@@ -69,17 +91,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--batch-size",
-        type=int,
+        type=_batch_size_arg,
         default=1,
         help="restarts submitted per pool task (in-worker batching; "
-        "result-identical)",
+        "result-identical; 'auto' sizes chunks from measured per-fit "
+        "latency)",
     )
 
 
 def _config(args: argparse.Namespace, **overrides) -> ExperimentConfig:
     max_objects = None if args.max_objects == 0 else args.max_objects
     values = dict(
-        scale=args.scale,
+        scale=1.0 if args.scale is None else args.scale,
         max_objects=max_objects,
         n_runs=args.runs,
         seed=args.seed,
@@ -107,7 +130,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     report = run_table3(
-        _config(args, scale=min(args.scale, 0.02) if args.scale == 1.0 else args.scale),
+        _config(args, scale=0.02 if args.scale is None else args.scale),
         datasets=args.datasets,
         cluster_counts=args.cluster_counts,
         algorithms=args.algorithms,
@@ -118,7 +141,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
     report = run_figure4(
-        _config(args, scale=min(args.scale, 0.05) if args.scale == 1.0 else args.scale),
+        _config(args, scale=0.05 if args.scale is None else args.scale),
         datasets=args.datasets,
     )
     print(report.render())
@@ -131,6 +154,82 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_grid(args: argparse.Namespace):
+    """The grid a ``repro sweep`` invocation covers."""
+    from repro.engine.sweep import (
+        Figure4Spec,
+        Figure5Spec,
+        SweepGrid,
+        Table2Spec,
+        Table3Spec,
+    )
+
+    if args.quick:
+        runs = min(args.runs, 2)
+        bench = _config(
+            args, scale=0.2, max_objects=60, n_runs=runs, n_samples=8
+        )
+        micro = _config(args, scale=0.004, n_runs=runs, n_samples=8)
+        specs = {
+            "table2": Table2Spec(
+                config=bench,
+                datasets=("iris",),
+                families=("normal",),
+                algorithms=("UKM", "UKmed"),
+            ),
+            "table3": Table3Spec(
+                config=micro,
+                datasets=("neuroblastoma",),
+                cluster_counts=(2, 3),
+                algorithms=("UKmed", "MMV"),
+            ),
+            "figure4": Figure4Spec(
+                config=_config(
+                    args, scale=0.02, max_objects=80, n_runs=runs, n_samples=8
+                ),
+                datasets=("abalone",),
+            ),
+            "figure5": Figure5Spec(
+                config=_config(args, n_runs=runs, n_samples=8),
+                fractions=(0.25, 1.0),
+                algorithms=("UKM", "MMV"),
+                base_size=min(args.base_size, 2000),
+            ),
+        }
+    else:
+        capped = lambda cap: cap if args.scale is None else args.scale  # noqa: E731
+        specs = {
+            "table2": Table2Spec(config=_config(args)),
+            "table3": Table3Spec(config=_config(args, scale=capped(0.02))),
+            "figure4": Figure4Spec(config=_config(args, scale=capped(0.05))),
+            "figure5": Figure5Spec(
+                config=_config(args), base_size=args.base_size
+            ),
+        }
+    return SweepGrid(
+        **{
+            name: (spec if name in args.surfaces else None)
+            for name, spec in specs.items()
+        }
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine.sweep import run_sweep
+    from repro.exceptions import SweepStoreError
+
+    grid = _sweep_grid(args)
+    try:
+        outcome = run_sweep(
+            grid, args.store, resume=args.resume, progress=print
+        )
+    except SweepStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"sweep complete: {outcome.summary()} (store: {outcome.store_root})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import (
         collect_artifacts,
@@ -138,13 +237,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
         write_experiments_report,
     )
 
-    artifacts = collect_artifacts(
-        table2_config=_config(args),
-        table3_config=_config(args, scale=0.02, n_runs=max(1, args.runs // 2)),
-        figure4_config=_config(args, scale=0.05, n_runs=max(1, args.runs // 2)),
-        figure5_config=_config(args, n_runs=max(1, args.runs // 2)),
-        figure5_base_size=args.base_size,
-    )
+    from repro.exceptions import SweepStoreError
+
+    try:
+        artifacts = collect_artifacts(
+            table2_config=_config(args),
+            table3_config=_config(args, scale=0.02, n_runs=max(1, args.runs // 2)),
+            figure4_config=_config(args, scale=0.05, n_runs=max(1, args.runs // 2)),
+            figure5_config=_config(args, n_runs=max(1, args.runs // 2)),
+            figure5_base_size=args.base_size,
+            store=args.store,
+            resume=args.resume,
+        )
+    except SweepStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     from repro.experiments.shapes import run_all_checks
 
     checks = run_all_checks(
@@ -252,10 +359,51 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--base-size", type=int, default=20000)
     p5.set_defaults(func=_cmd_figure5)
 
+    ps = sub.add_parser(
+        "sweep",
+        help="run the paper grid as one shared-cache, resumable schedule",
+    )
+    _add_common(ps)
+    ps.add_argument(
+        "--store",
+        required=True,
+        help="result-store directory (manifest + one JSON file per cell)",
+    )
+    ps.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from the store (bit-identical skip)",
+    )
+    ps.add_argument(
+        "--surfaces",
+        nargs="+",
+        choices=["table2", "table3", "figure4", "figure5"],
+        default=["table2", "table3", "figure4", "figure5"],
+        help="paper surfaces to include in the grid",
+    )
+    ps.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke grid (CI): 1-2 datasets per surface, short runs",
+    )
+    ps.add_argument("--base-size", type=int, default=20000)
+    ps.set_defaults(func=_cmd_sweep)
+
     pr = sub.add_parser("report", help="run everything, render markdown")
     _add_common(pr)
     pr.add_argument("--base-size", type=int, default=20000)
     pr.add_argument("--output", default=None, help="write to this file")
+    pr.add_argument(
+        "--store",
+        default=None,
+        help="route the four suites through the sweep orchestrator, "
+        "persisting every cell in this resumable result store",
+    )
+    pr.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: reuse completed cells from an earlier run",
+    )
     pr.set_defaults(func=_cmd_report)
 
     pd = sub.add_parser("demo", help="one-minute algorithm comparison")
@@ -281,9 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pd.add_argument(
         "--batch-size",
-        type=int,
+        type=_batch_size_arg,
         default=1,
-        help="restarts submitted per pool task (in-worker batching)",
+        help="restarts submitted per pool task (in-worker batching; "
+        "'auto' adapts to measured per-fit latency)",
     )
     pd.add_argument(
         "--patience",

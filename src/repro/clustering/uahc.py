@@ -18,12 +18,24 @@ over Lemma 2 moments).
 
 The full dendrogram is recorded; the flat clustering is obtained by
 stopping at ``n_clusters`` clusters.
+
+Under ``linkage="ed"`` the proximity between two *singleton* clusters is
+exactly the squared expected distance ``ÊD`` of Lemma 3, so the initial
+all-pairs structure is the dataset's pairwise ``ÊD`` matrix — the same
+off-line artifact UK-medoids precomputes.  U-AHC therefore rides the
+engine's pairwise-distance plane for that linkage: it declares
+``wants_pairwise_ed`` and seeds the merge structure from the injected
+``pairwise_ed_cache`` when one is present, computing the identical
+matrix itself otherwise (bit-identical either way — both paths run
+:func:`~repro.objects.distance.pairwise_squared_expected_distances`'s
+kernel).  The Jeffreys linkage has no such precomputable seed and keeps
+the blocked in-fit build.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -35,9 +47,17 @@ from repro.clustering.base import (
 )
 from repro.exceptions import InvalidParameterError
 from repro.objects.dataset import UncertainDataset
+from repro.objects.distance import pairwise_squared_expected_distances
 from repro.utils.timer import Stopwatch
 
-#: Variance floor for the Gaussian approximations (point masses).
+#: Variance floor for the Gaussian approximations under the Jeffreys
+#: linkage, whose divergence divides by per-dimension variances (point
+#: masses would divide by zero).  The "ed" linkage never divides, so it
+#: floors at exactly 0 (guarding only float cancellation in
+#: ``mu2 - mu^2``): its initial singleton structure is the *unfloored*
+#: pairwise ``ÊD`` matrix, and merged-row refreshes must stay on the
+#: same scale — a positive floor there would bias every
+#: merged-vs-singleton comparison by ``~2 m * floor``.
 _VAR_FLOOR = 1e-9
 
 #: Element budget for one `(rows, n, m)` broadcast block of the initial
@@ -92,6 +112,19 @@ class UAHC(UncertainClusterer):
             )
         self.n_clusters = int(n_clusters)
         self.linkage = linkage
+        #: Jeffreys divides by variances and needs the positive floor;
+        #: "ed" only sums them and must match its unfloored ÊD seed.
+        self._var_floor = _VAR_FLOOR if linkage == "jeffreys" else 0.0
+        #: Engine-injected shared ``ÊD`` matrix (the distance plane's
+        #: injection point, like :attr:`UKMedoids.pairwise_ed_cache`);
+        #: consumed by the ``"ed"`` linkage as the initial singleton
+        #: proximity structure, ignored by ``"jeffreys"``.
+        self.pairwise_ed_cache: Optional[np.ndarray] = None
+
+    @property
+    def wants_pairwise_ed(self) -> bool:
+        """Only the ``"ed"`` linkage consumes the shared ``ÊD`` plane."""
+        return self.linkage == "ed"
 
     def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Cluster ``dataset`` bottom-up; ``seed`` is unused (deterministic)."""
@@ -127,7 +160,10 @@ class UAHC(UncertainClusterer):
         # sums, so only that one row of (mix_mu, mix_var) is refreshed
         # per step instead of refitting all n clusters.
         mix_mu, mix_var = self._gaussian_parameters(mu_sum, mu2_sum, counts)
-        prox = self._full_proximity(mix_mu, mix_var)
+        if self.linkage == "ed":
+            prox = self._initial_ed_proximity(dataset, n)
+        else:
+            prox = self._full_proximity(mix_mu, mix_var)
         np.fill_diagonal(prox, np.inf)
 
         merges: List[MergeStep] = []
@@ -155,7 +191,7 @@ class UAHC(UncertainClusterer):
             inv = 1.0 / float(counts[a])
             mix_mu[a] = mu_sum[a] * inv
             mix_var[a] = np.maximum(
-                mu2_sum[a] * inv - mix_mu[a] ** 2, _VAR_FLOOR
+                mu2_sum[a] * inv - mix_mu[a] ** 2, self._var_floor
             )
             row = self._row_against(mix_mu, mix_var, a)
             row[~active] = np.inf
@@ -169,19 +205,39 @@ class UAHC(UncertainClusterer):
         labels = np.array([survivors[int(c)] for c in membership], dtype=np.int64)
         return labels, merges
 
-    @staticmethod
+    def _initial_ed_proximity(self, dataset: UncertainDataset, n: int) -> np.ndarray:
+        """Initial singleton proximities for ``linkage="ed"``.
+
+        Between singleton clusters the ``"ed"`` proximity *is* Lemma 3's
+        ``ÊD``, so the starting structure is the dataset's pairwise
+        ``ÊD`` matrix: a working copy of the engine-injected
+        ``pairwise_ed_cache`` when the distance plane supplied one
+        (copied because the agglomeration overwrites retired rows with
+        ``inf``), or the same matrix computed in place.  Both paths run
+        the identical kernel, so the plane never changes the dendrogram.
+        """
+        if self.pairwise_ed_cache is not None:
+            matrix = np.asarray(self.pairwise_ed_cache, dtype=np.float64)
+            if matrix.shape != (n, n):
+                raise InvalidParameterError(
+                    f"pairwise_ed_cache matrix must be ({n}, {n}), "
+                    f"got {matrix.shape}"
+                )
+            return np.array(matrix)
+        return pairwise_squared_expected_distances(dataset)
+
     def _gaussian_parameters(
-        mu_sum: np.ndarray, mu2_sum: np.ndarray, counts: np.ndarray
+        self, mu_sum: np.ndarray, mu2_sum: np.ndarray, counts: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """(means, variances) of each cluster mixture's Gaussian fit."""
         inv = 1.0 / counts.astype(np.float64)
         mix_mu = mu_sum * inv[:, None]
         mix_mu2 = mu2_sum * inv[:, None]
-        mix_var = np.maximum(mix_mu2 - mix_mu**2, _VAR_FLOOR)
+        mix_var = np.maximum(mix_mu2 - mix_mu**2, self._var_floor)
         return mix_mu, mix_var
 
     def _full_proximity(self, mu: np.ndarray, var: np.ndarray) -> np.ndarray:
-        """All-pairs proximity via a blocked full-matrix broadcast.
+        """All-pairs Jeffreys proximity via a blocked full-matrix broadcast.
 
         Evaluates the same elementwise formula as :meth:`_row_against`
         over ``(rows, n, m)`` expansions — row blocks sized by
@@ -189,24 +245,20 @@ class UAHC(UncertainClusterer):
         cache-resident — and reduces the contiguous trailing axis.
         Every entry is bit-identical to the per-row loop it replaces;
         the dendrogram regression in
-        ``tests/test_density_hierarchical.py`` pins this.
+        ``tests/test_density_hierarchical.py`` pins this.  (The ``"ed"``
+        linkage takes :meth:`_initial_ed_proximity` instead — its
+        singleton structure is the precomputable ``ÊD`` matrix.)
         """
         n, m = mu.shape
         rows = max(1, _PROXIMITY_BLOCK_ELEMENTS // max(1, n * m))
         prox = np.empty((n, n))
-        sums = None if self.linkage == "jeffreys" else var.sum(axis=1)
         for start in range(0, n, rows):
             stop = min(n, start + rows)
             diff_sq = (mu[None, :, :] - mu[start:stop, None, :]) ** 2
-            if self.linkage == "jeffreys":
-                term = (var[None, :, :] + diff_sq) / var[
-                    start:stop, None, :
-                ] + (var[start:stop, None, :] + diff_sq) / var[None, :, :]
-                prox[start:stop] = 0.5 * (term - 2.0).sum(axis=2)
-            else:
-                prox[start:stop] = (
-                    sums[None, :] + sums[start:stop, None] + diff_sq.sum(axis=2)
-                )
+            term = (var[None, :, :] + diff_sq) / var[
+                start:stop, None, :
+            ] + (var[start:stop, None, :] + diff_sq) / var[None, :, :]
+            prox[start:stop] = 0.5 * (term - 2.0).sum(axis=2)
         return prox
 
     def _row_against(

@@ -19,8 +19,11 @@ from repro.engine.backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SharedBlockRegistry,
     ThreadBackend,
     get_backend,
+    shared_block_registry,
+    validate_batch_size,
 )
 from repro.engine.distances import (
     needs_pairwise_ed,
@@ -38,10 +41,13 @@ __all__ = [
     "ProcessBackend",
     "RestartRecord",
     "SerialBackend",
+    "SharedBlockRegistry",
     "ThreadBackend",
     "fit_runs",
     "get_backend",
     "needs_pairwise_ed",
     "pinned_pairwise_ed",
     "resolve_pairwise_ed",
+    "shared_block_registry",
+    "validate_batch_size",
 ]

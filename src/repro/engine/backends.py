@@ -29,7 +29,13 @@ All pool backends optionally submit restarts in **in-worker batches**
 (``batch_size`` seeds per task): a worker fits a whole chunk in one
 task, amortizing per-task pool overhead for sub-ms fits.  Completions
 are still consumed in submission order restart-by-restart, so batching
-never changes the result (see below).
+never changes the result (see below).  ``batch_size="auto"`` sizes the
+chunks adaptively: the first completed task measures the per-fit
+latency, and the remaining seeds are chunked so one task runs for about
+:data:`ADAPTIVE_TARGET_SECONDS` — sub-ms fits get large chunks, slow
+fits degrade to ``batch_size=1``.  Because consumption stays
+submission-ordered either way, the adaptive policy is bit-identical to
+any fixed chunking.
 
 Determinism contract
 --------------------
@@ -48,9 +54,19 @@ import abc
 import pickle
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -69,6 +85,37 @@ BACKEND_NAMES = ("serial", "threads", "processes", "auto")
 #: is sample-based — an (n, S, m) tensor sweep is not sub-ms just
 #: because the dataset is small.
 AUTO_SERIAL_ELEMENTS = 4096
+
+#: Wall-clock seconds one pool task should run for under
+#: ``batch_size="auto"``: long enough that per-task dispatch overhead
+#: (~100 us thread, ~1 ms process) is noise, short enough that the
+#: submission-order consumer never waits long on a head-of-line chunk.
+ADAPTIVE_TARGET_SECONDS = 0.05
+
+#: Upper bound on an adaptively sized chunk — keeps the work discarded
+#: past an early-stopping decision (and the latency-estimate error for
+#: very fast fits) bounded.
+ADAPTIVE_MAX_BATCH = 64
+
+#: A batch-size argument: a fixed chunk length or ``"auto"`` (adaptive).
+BatchSizeLike = Union[int, str]
+
+
+def validate_batch_size(batch_size: BatchSizeLike) -> BatchSizeLike:
+    """Normalize/validate a ``batch_size`` knob (``int >= 1`` or ``"auto"``)."""
+    if batch_size == "auto":
+        return "auto"
+    if isinstance(batch_size, bool) or not isinstance(
+        batch_size, (int, np.integer)
+    ):
+        raise InvalidParameterError(
+            f"batch_size must be an int >= 1 or 'auto', got {batch_size!r}"
+        )
+    if batch_size < 1:
+        raise InvalidParameterError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    return int(batch_size)
 
 
 @dataclass(frozen=True)
@@ -172,12 +219,6 @@ def _run_serially(
     return results
 
 
-def _chunk_seeds(seeds: Sequence[int], batch_size: int) -> List[List[int]]:
-    """Split the seed list into submission-order chunks of ``batch_size``."""
-    seeds = list(seeds)
-    return [seeds[i : i + batch_size] for i in range(0, len(seeds), batch_size)]
-
-
 def _fit_chunk(
     clusterer: UncertainClusterer,
     dataset: UncertainDataset,
@@ -187,12 +228,50 @@ def _fit_chunk(
     return [clusterer.fit(dataset, seed=s) for s in seeds]
 
 
+def _adaptive_chunk_size(results: Sequence[ClusteringResult]) -> int:
+    """Chunk length targeting ``ADAPTIVE_TARGET_SECONDS`` per pool task.
+
+    The estimate comes from the measured on-line runtime of the first
+    completed chunk's fits — the latency the batching exists to
+    amortize.  Zero/degenerate measurements (clock granularity) read as
+    "far below the target" and get the maximum chunk.
+    """
+    per_fit = sum(r.runtime_seconds for r in results) / max(1, len(results))
+    if per_fit <= 0.0:
+        return ADAPTIVE_MAX_BATCH
+    return max(1, min(ADAPTIVE_MAX_BATCH, int(ADAPTIVE_TARGET_SECONDS / per_fit)))
+
+
+def _pool_shape(
+    n_jobs: int,
+    n_seeds: int,
+    batch_size: BatchSizeLike,
+    early_stopping: Optional[EarlyStopping],
+) -> Tuple[int, int]:
+    """(workers, window) for one pool run.
+
+    ``window`` counts chunks in flight.  Without early stopping every
+    fixed-size chunk is submitted upfront (the executor keeps all
+    workers busy); with early stopping — or with adaptive batching,
+    whose chunk length is unknown until the first completion — the
+    window narrows to ``workers`` so the work scheduled past a stop
+    decision (or sized off the initial probe guess) stays bounded.
+    """
+    if batch_size == "auto":
+        workers = min(n_jobs, n_seeds)
+        return workers, workers
+    n_chunks = (n_seeds + batch_size - 1) // batch_size
+    workers = min(n_jobs, n_chunks)
+    window = workers if early_stopping is not None else n_chunks
+    return workers, window
+
+
 def _drive_pool(
     submit: Callable[[List[int]], Future],
     seeds: Sequence[int],
     early_stopping: Optional[EarlyStopping],
     window: int,
-    batch_size: int = 1,
+    batch_size: BatchSizeLike = 1,
 ) -> List[ClusteringResult]:
     """Bounded-window pool driver with submission-order consumption.
 
@@ -207,22 +286,43 @@ def _drive_pool(
     cancelled and anything already running is discarded — identical to
     the unbatched prefix.
 
+    ``batch_size="auto"`` starts with single-seed probe chunks; the
+    first completed chunk yields a per-fit latency estimate and every
+    chunk submitted afterwards is sized by :func:`_adaptive_chunk_size`.
+    Chunk boundaries are invisible to the submission-order consumer, so
+    the adaptive policy returns the exact ``batch_size=1`` prefix.
+
     Callers pass ``window=n_chunks`` when no early stopping is active
     (everything is submitted upfront and the executor keeps all workers
     busy); the narrow ``window=workers`` is only worth its head-of-line
-    submission gap when it bounds the work wasted past a stop decision.
+    submission gap when it bounds the work wasted past a stop decision
+    or scheduled before the adaptive chunk length settles.
     """
-    chunks = _chunk_seeds(seeds, batch_size)
+    seeds = list(seeds)
+    adaptive = batch_size == "auto"
+    chunk_len = 1 if adaptive else int(batch_size)
     clock = _StopClock(early_stopping)
     results: List[ClusteringResult] = []
     in_flight: deque[Future] = deque()
-    next_idx = 0
-    while next_idx < len(chunks) and len(in_flight) < window:
-        in_flight.append(submit(chunks[next_idx]))
-        next_idx += 1
+    next_pos = 0
+
+    def refill() -> None:
+        nonlocal next_pos
+        while next_pos < len(seeds) and len(in_flight) < window:
+            chunk = seeds[next_pos : next_pos + chunk_len]
+            next_pos += len(chunk)
+            in_flight.append(submit(chunk))
+
+    refill()
     while in_flight:
+        chunk_results = in_flight.popleft().result()
+        if adaptive:
+            # The first completion (in submission order) fixes the chunk
+            # length for every seed not yet submitted.
+            chunk_len = max(chunk_len, _adaptive_chunk_size(chunk_results))
+            adaptive = False
         stopped = False
-        for result in in_flight.popleft().result():
+        for result in chunk_results:
             results.append(result)
             if clock.should_stop(result.objective):
                 stopped = True
@@ -231,9 +331,7 @@ def _drive_pool(
             for future in in_flight:
                 future.cancel()
             break
-        if next_idx < len(chunks):
-            in_flight.append(submit(chunks[next_idx]))
-            next_idx += 1
+        refill()
     return results
 
 
@@ -260,22 +358,18 @@ class ThreadBackend(ExecutionBackend):
 
     name = "threads"
 
-    def __init__(self, n_jobs: int, batch_size: int = 1):
+    def __init__(self, n_jobs: int, batch_size: BatchSizeLike = 1):
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
-        if batch_size < 1:
-            raise InvalidParameterError(
-                f"batch_size must be >= 1, got {batch_size}"
-            )
         self.n_jobs = int(n_jobs)
-        self.batch_size = int(batch_size)
+        self.batch_size = validate_batch_size(batch_size)
 
     def run(self, clusterer, dataset, seeds, early_stopping=None):
         if self.n_jobs == 1 or len(seeds) == 1:
             return _run_serially(clusterer, dataset, seeds, early_stopping)
-        n_chunks = len(_chunk_seeds(seeds, self.batch_size))
-        workers = min(self.n_jobs, n_chunks)
-        window = workers if early_stopping is not None else n_chunks
+        workers, window = _pool_shape(
+            self.n_jobs, len(seeds), self.batch_size, early_stopping
+        )
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return _drive_pool(
                 lambda chunk: pool.submit(_fit_chunk, clusterer, dataset, chunk),
@@ -384,6 +478,71 @@ def _fit_shared_chunk(seeds: Sequence[int]) -> List[ClusteringResult]:
     )
 
 
+class SharedBlockRegistry:
+    """Interns shared-memory blocks for arrays reused across run-sets.
+
+    One engine run-set publishes its big arrays and unlinks them when it
+    finishes.  A *sweep* over many run-sets on one dataset would pay
+    that publication once per cell; this registry, activated with
+    :func:`shared_block_registry`, lets the process backend reuse a
+    block for the *same ndarray object* across runs — the dataset's
+    moment matrices and the cached ``ÊD`` matrix are stable read-only
+    objects, so identity is the correct cache key.  Per-cell arrays
+    (sample tensors) are never interned: retaining every cell's tensor
+    until the registry closes would grow without bound.
+
+    All interned blocks are unlinked when the context exits, including
+    on error; runs inside the context must therefore never outlive it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[np.ndarray, _SharedNDArray]] = {}
+
+    def intern(self, array: np.ndarray) -> _SharedNDArray:
+        """The block publishing ``array``, created on first sight."""
+        key = id(array)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is array:
+            return entry[1]
+        block = _SharedNDArray(array)
+        self._entries[key] = (array, block)
+        return block
+
+    def destroy_all(self) -> None:
+        entries = list(self._entries.values())
+        self._entries.clear()
+        for _, block in entries:
+            block.destroy()
+
+
+#: The registry runs inside ``shared_block_registry()`` consult, if any.
+_ACTIVE_BLOCK_REGISTRY: Optional[SharedBlockRegistry] = None
+
+
+@contextmanager
+def shared_block_registry() -> "Iterator[SharedBlockRegistry]":
+    """Scope within which process-backend runs share stable blocks.
+
+    Used by the sweep orchestrator around each dataset group: every
+    ``processes`` (or ``auto``-dispatched) run-set inside the scope
+    publishes the group's moment matrices and ``ÊD`` matrix to shared
+    memory **once**, instead of once per cell.  Nesting is not
+    supported — the sweep's group loop is strictly sequential.
+    """
+    global _ACTIVE_BLOCK_REGISTRY
+    if _ACTIVE_BLOCK_REGISTRY is not None:
+        raise InvalidParameterError(
+            "shared_block_registry scopes cannot be nested"
+        )
+    registry = SharedBlockRegistry()
+    _ACTIVE_BLOCK_REGISTRY = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE_BLOCK_REGISTRY = None
+        registry.destroy_all()
+
+
 class ProcessBackend(ExecutionBackend):
     """Process-pool execution over shared-memory tensors.
 
@@ -400,15 +559,11 @@ class ProcessBackend(ExecutionBackend):
 
     name = "processes"
 
-    def __init__(self, n_jobs: int, batch_size: int = 1):
+    def __init__(self, n_jobs: int, batch_size: BatchSizeLike = 1):
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
-        if batch_size < 1:
-            raise InvalidParameterError(
-                f"batch_size must be >= 1, got {batch_size}"
-            )
         self.n_jobs = int(n_jobs)
-        self.batch_size = int(batch_size)
+        self.batch_size = validate_batch_size(batch_size)
         #: Specs of the most recent run's blocks — exposed so tests can
         #: verify they were unlinked.
         self.last_shared_specs: List[_ShmSpec] = []
@@ -416,19 +571,33 @@ class ProcessBackend(ExecutionBackend):
     def run(self, clusterer, dataset, seeds, early_stopping=None):
         if self.n_jobs == 1 or len(seeds) == 1:
             return _run_serially(clusterer, dataset, seeds, early_stopping)
-        blocks: List[_SharedNDArray] = []
+        registry = _ACTIVE_BLOCK_REGISTRY
+        #: Blocks this run created and must unlink itself; registry
+        #: blocks outlive the run and are unlinked by the registry scope.
+        owned: List[_SharedNDArray] = []
+        specs: List[_ShmSpec] = []
+
+        def publish(array: np.ndarray, stable: bool) -> _SharedNDArray:
+            """Publish ``array``; intern only stable per-dataset arrays."""
+            if stable and registry is not None:
+                block = registry.intern(array)
+            else:
+                block = _SharedNDArray(array)
+                owned.append(block)
+            specs.append(block.spec)
+            return block
+
         try:
             moments = {
-                "mu": _SharedNDArray(dataset.mu_matrix),
-                "mu2": _SharedNDArray(dataset.mu2_matrix),
-                "sigma2": _SharedNDArray(dataset.sigma2_matrix),
+                "mu": publish(dataset.mu_matrix, stable=True),
+                "mu2": publish(dataset.mu2_matrix, stable=True),
+                "sigma2": publish(dataset.sigma2_matrix, stable=True),
             }
-            blocks.extend(moments.values())
             tensor = getattr(clusterer, "sample_cache", None)
             sample_block = None
             if tensor is not None:
-                sample_block = _SharedNDArray(np.asarray(tensor))
-                blocks.append(sample_block)
+                # Per-cell tensors: never interned (fresh draw per run-set).
+                sample_block = publish(np.asarray(tensor), stable=False)
             # The pairwise ÊD plane: engine-injected cache or the
             # clusterer's own constructor matrix — published by name,
             # and stripped below so it is never pickled.
@@ -439,8 +608,10 @@ class ProcessBackend(ExecutionBackend):
                 if matrix is None:
                     matrix = getattr(clusterer, "precomputed", None)
                 if matrix is not None:
-                    pairwise_block = _SharedNDArray(np.asarray(matrix))
-                    blocks.append(pairwise_block)
+                    # Intern on the matrix object itself (not an
+                    # ``asarray`` view, whose identity would differ per
+                    # run and defeat the registry).
+                    pairwise_block = publish(matrix, stable=True)
                     strip += ["pairwise_ed_cache", "precomputed"]
             payload = {
                 "clusterer": self._pickle_without(clusterer, strip),
@@ -451,10 +622,10 @@ class ProcessBackend(ExecutionBackend):
                     None if pairwise_block is None else pairwise_block.spec
                 ),
             }
-            self.last_shared_specs = [blk.spec for blk in blocks]
-            n_chunks = len(_chunk_seeds(seeds, self.batch_size))
-            workers = min(self.n_jobs, n_chunks)
-            window = workers if early_stopping is not None else n_chunks
+            self.last_shared_specs = specs
+            workers, window = _pool_shape(
+                self.n_jobs, len(seeds), self.batch_size, early_stopping
+            )
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_shared_worker,
@@ -468,7 +639,7 @@ class ProcessBackend(ExecutionBackend):
                     batch_size=self.batch_size,
                 )
         finally:
-            for block in blocks:
+            for block in owned:
                 block.destroy()
 
     @staticmethod
@@ -513,15 +684,11 @@ class AutoBackend(ExecutionBackend):
 
     name = "auto"
 
-    def __init__(self, n_jobs: int, batch_size: int = 1):
+    def __init__(self, n_jobs: int, batch_size: BatchSizeLike = 1):
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
-        if batch_size < 1:
-            raise InvalidParameterError(
-                f"batch_size must be >= 1, got {batch_size}"
-            )
         self.n_jobs = int(n_jobs)
-        self.batch_size = int(batch_size)
+        self.batch_size = validate_batch_size(batch_size)
         #: Name of the backend the most recent ``run`` dispatched to.
         self.last_resolved: Optional[str] = None
 
@@ -557,13 +724,14 @@ BackendLike = Union[str, ExecutionBackend, None]
 
 
 def get_backend(
-    backend: BackendLike, n_jobs: int = 1, batch_size: int = 1
+    backend: BackendLike, n_jobs: int = 1, batch_size: BatchSizeLike = 1
 ) -> ExecutionBackend:
     """Resolve a backend spec to an :class:`ExecutionBackend` instance.
 
     ``None`` keeps the runner's historical behavior: serial for
     ``n_jobs == 1``, the process pool otherwise.  ``batch_size`` sets
-    the in-worker restart chunking of the pool backends (ignored when an
+    the in-worker restart chunking of the pool backends — a fixed chunk
+    length or ``"auto"`` for latency-adaptive sizing (ignored when an
     already-constructed instance is passed, which keeps its own).
     """
     if isinstance(backend, ExecutionBackend):

@@ -38,7 +38,13 @@ import numpy as np
 
 from repro._typing import SeedLike
 from repro.clustering.base import ClusteringResult, UncertainClusterer
-from repro.engine.backends import BackendLike, EarlyStopping, get_backend
+from repro.engine.backends import (
+    BackendLike,
+    BatchSizeLike,
+    EarlyStopping,
+    get_backend,
+    validate_batch_size,
+)
 from repro.engine.distances import pinned_pairwise_ed, resolve_pairwise_ed
 from repro.exceptions import InvalidParameterError
 from repro.objects.dataset import UncertainDataset
@@ -109,7 +115,10 @@ class MultiRestartRunner:
         Restarts submitted per pool task (in-worker batching):
         completions are still consumed restart-by-restart in submission
         order, so results are identical for every ``batch_size`` — the
-        knob only amortizes pool overhead for sub-ms fits.
+        knob only amortizes pool overhead for sub-ms fits.  ``"auto"``
+        sizes the chunks from the measured per-fit latency of the first
+        completed task (see :mod:`repro.engine.backends`), still
+        bit-identical to ``batch_size=1``.
     early_stopping:
         ``None`` (run every restart), an
         :class:`~repro.engine.backends.EarlyStopping` rule, or an int
@@ -127,22 +136,18 @@ class MultiRestartRunner:
         share_pairwise: bool = True,
         backend: BackendLike = None,
         early_stopping: Optional[EarlyStopping | int] = None,
-        batch_size: int = 1,
+        batch_size: BatchSizeLike = 1,
     ):
         if n_init < 1:
             raise InvalidParameterError(f"n_init must be >= 1, got {n_init}")
         if n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
-        if batch_size < 1:
-            raise InvalidParameterError(
-                f"batch_size must be >= 1, got {batch_size}"
-            )
         self.clusterer = clusterer
         self.n_init = int(n_init)
         self.n_jobs = int(n_jobs)
         self.share_samples = bool(share_samples)
         self.share_pairwise = bool(share_pairwise)
-        self.batch_size = int(batch_size)
+        self.batch_size = validate_batch_size(batch_size)
         self.backend = get_backend(backend, self.n_jobs, batch_size=self.batch_size)
         if isinstance(early_stopping, int):
             early_stopping = EarlyStopping(patience=early_stopping)
@@ -411,7 +416,7 @@ def fit_runs(
     share_samples: Optional[bool] = None,
     n_jobs: int = 1,
     backend: BackendLike = None,
-    batch_size: int = 1,
+    batch_size: BatchSizeLike = 1,
     pairwise_ed: Optional[np.ndarray] = None,
 ) -> List[ClusteringResult]:
     """Fit ``clusterer`` once per seed, optionally through the engine.

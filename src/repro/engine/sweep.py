@@ -1,0 +1,811 @@
+"""Paper-grid sweep orchestrator: one shared-cache schedule for the grid.
+
+The paper's headline artifacts (Tables 2-3, Figures 4-5) are a *grid*
+of run-sets — datasets x algorithms x parameters — and every cell that
+shares a dataset also shares that dataset's off-line work: the stacked
+moment matrices, the compiled sampling plan, and the pairwise ``ÊD``
+matrix of the distance plane.  The experiment runners already share
+those caches *within* one invocation; this module turns the whole grid
+into one explicit schedule of dataset groups so that
+
+* each dataset is materialized **once** and every cell that needs it
+  reads the same object (hence the same moment matrices, the same
+  cached :meth:`~repro.objects.dataset.UncertainDataset.pairwise_ed`
+  matrix and the same compiled sampling plan);
+* under the ``processes``/``auto`` backends the group's stable arrays
+  are published to shared memory **once** for all of its cells
+  (:func:`repro.engine.backends.shared_block_registry`), instead of
+  once per run-set;
+* every cell's result lands in a **resumable JSON store**: one file per
+  cell, written atomically, carrying the cell's values plus a
+  fingerprint of the seed stream that produced them.
+
+Bit-identity contract
+---------------------
+A sweep cell equals the corresponding cell of a direct
+``run_table2``/``run_table3``/``run_figure4``/``run_figure5`` call with
+the same spec, on every backend: the orchestrator executes the exact
+group/cell helpers the runners themselves use, in the exact iteration
+order, consuming the exact seed streams.  On ``resume``, completed
+cells are skipped but their seed consumption is *replayed* (the
+``skip_*_cell`` helpers), so every pending cell still sees the streams
+an uninterrupted run would have produced — the resumed store is
+byte-identical to an uninterrupted one for the deterministic surfaces
+(Tables 2-3; the Figure cells store measured wall-clock runtimes).
+
+Store layout
+------------
+::
+
+    <store>/
+      manifest.json           # schema + full grid description
+      cells/
+        <surface>__<group...>__<cell...>.json
+
+A cell file is ``{"schema": ..., "surface": ..., "group": [...],
+"cell": [...], "seed_state": "<sha1>", "status": "done",
+"values": {...}}``.  Corrupted or partial cell files (a killed run can
+only ever leave a stray ``*.tmp`` behind — final writes are atomic
+renames — but truncation or manual editing happens) are detected,
+reported in :attr:`SweepOutcome.invalid`, and re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datagen.uncertainty_gen import PDF_FAMILIES
+from repro.engine.backends import shared_block_registry
+from repro.exceptions import InvalidParameterError, SweepStoreError
+from repro.experiments.config import (
+    ACCURACY_ROSTER,
+    FAST_ROSTER,
+    SCALABILITY_ROSTER,
+    SLOW_ROSTER,
+    ExperimentConfig,
+)
+from repro.experiments.figure4 import FIGURE4_DATASETS
+from repro.experiments.figure5 import FIGURE5_FRACTIONS, FIGURE5_K
+from repro.experiments.table2 import TABLE2_DATASETS
+from repro.experiments.table3 import TABLE3_CLUSTER_COUNTS, TABLE3_DATASETS
+from repro.utils.rng import spawn_rngs
+
+#: Bumped whenever the store layout or a cell payload's meaning changes.
+SWEEP_SCHEMA_VERSION = 1
+
+#: Execution order of the surfaces (each derives its streams from its
+#: own ``config.seed``, so the order never affects any cell's seeds).
+SWEEP_SURFACES = ("table2", "table3", "figure4", "figure5")
+
+
+
+# ----------------------------------------------------------------------
+# Grid specification
+# ----------------------------------------------------------------------
+def _freeze(spec, **fields) -> None:
+    for name, value in fields.items():
+        object.__setattr__(spec, name, value)
+
+
+@dataclass(frozen=True)
+class Table2Spec:
+    """One Table 2 sub-grid: datasets x families x algorithms."""
+
+    config: ExperimentConfig = ExperimentConfig()
+    datasets: Tuple[str, ...] = TABLE2_DATASETS
+    families: Tuple[str, ...] = PDF_FAMILIES
+    algorithms: Tuple[str, ...] = ACCURACY_ROSTER
+
+    def __post_init__(self) -> None:
+        _freeze(
+            self,
+            datasets=tuple(self.datasets),
+            families=tuple(self.families),
+            algorithms=tuple(self.algorithms),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "config": asdict(self.config),
+            "datasets": list(self.datasets),
+            "families": list(self.families),
+            "algorithms": list(self.algorithms),
+        }
+
+
+@dataclass(frozen=True)
+class Table3Spec:
+    """One Table 3 sub-grid: datasets x cluster counts x algorithms."""
+
+    config: ExperimentConfig = ExperimentConfig(scale=0.02)
+    datasets: Tuple[str, ...] = TABLE3_DATASETS
+    cluster_counts: Tuple[int, ...] = TABLE3_CLUSTER_COUNTS
+    algorithms: Tuple[str, ...] = ACCURACY_ROSTER
+
+    def __post_init__(self) -> None:
+        _freeze(
+            self,
+            datasets=tuple(self.datasets),
+            cluster_counts=tuple(int(k) for k in self.cluster_counts),
+            algorithms=tuple(self.algorithms),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "config": asdict(self.config),
+            "datasets": list(self.datasets),
+            "cluster_counts": list(self.cluster_counts),
+            "algorithms": list(self.algorithms),
+        }
+
+
+@dataclass(frozen=True)
+class Figure4Spec:
+    """One Figure 4 sub-grid: datasets x (slow + fast + UCPC) roster."""
+
+    config: ExperimentConfig = ExperimentConfig(scale=0.02, n_runs=3)
+    datasets: Tuple[str, ...] = FIGURE4_DATASETS
+    slow_group: Tuple[str, ...] = SLOW_ROSTER
+    fast_group: Tuple[str, ...] = FAST_ROSTER
+    n_clusters: int = 10
+
+    def __post_init__(self) -> None:
+        _freeze(
+            self,
+            datasets=tuple(self.datasets),
+            slow_group=tuple(self.slow_group),
+            fast_group=tuple(self.fast_group),
+            n_clusters=int(self.n_clusters),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "config": asdict(self.config),
+            "datasets": list(self.datasets),
+            "slow_group": list(self.slow_group),
+            "fast_group": list(self.fast_group),
+            "n_clusters": self.n_clusters,
+        }
+
+
+@dataclass(frozen=True)
+class Figure5Spec:
+    """One Figure 5 sub-grid: fractions x scalability roster."""
+
+    config: ExperimentConfig = ExperimentConfig(n_runs=3)
+    fractions: Tuple[float, ...] = FIGURE5_FRACTIONS
+    algorithms: Tuple[str, ...] = SCALABILITY_ROSTER
+    base_size: int = 20000
+
+    def __post_init__(self) -> None:
+        _freeze(
+            self,
+            fractions=tuple(float(f) for f in self.fractions),
+            algorithms=tuple(self.algorithms),
+            base_size=int(self.base_size),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "config": asdict(self.config),
+            "fractions": list(self.fractions),
+            "algorithms": list(self.algorithms),
+            "base_size": self.base_size,
+        }
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Which surfaces a sweep covers, each with its own spec.
+
+    A ``None`` surface is excluded.  :func:`paper_grid` builds the full
+    default grid (every surface at its runner-default shape).
+    """
+
+    table2: Optional[Table2Spec] = None
+    table3: Optional[Table3Spec] = None
+    figure4: Optional[Figure4Spec] = None
+    figure5: Optional[Figure5Spec] = None
+
+    def __post_init__(self) -> None:
+        if not any(
+            (self.table2, self.table3, self.figure4, self.figure5)
+        ):
+            raise InvalidParameterError(
+                "a SweepGrid needs at least one surface spec"
+            )
+
+    def describe(self) -> Dict[str, object]:
+        """Deterministic JSON-ready description (the manifest body)."""
+        surfaces: Dict[str, object] = {}
+        for name in SWEEP_SURFACES:
+            spec = getattr(self, name)
+            if spec is not None:
+                surfaces[name] = spec.describe()
+        return {"schema": SWEEP_SCHEMA_VERSION, "surfaces": surfaces}
+
+
+def paper_grid(
+    table2_config: Optional[ExperimentConfig] = None,
+    table3_config: Optional[ExperimentConfig] = None,
+    figure4_config: Optional[ExperimentConfig] = None,
+    figure5_config: Optional[ExperimentConfig] = None,
+    figure5_base_size: int = 20000,
+) -> SweepGrid:
+    """The full paper grid, one spec per surface.
+
+    Defaults mirror each runner's own default config (Table 3 and
+    Figure 4 scale-capped for laptop runtimes, exactly as
+    ``run_table3``/``run_figure4`` default).
+    """
+    return SweepGrid(
+        table2=Table2Spec(config=table2_config or ExperimentConfig()),
+        table3=Table3Spec(
+            config=table3_config or ExperimentConfig(scale=0.02)
+        ),
+        figure4=Figure4Spec(
+            config=figure4_config or ExperimentConfig(scale=0.02, n_runs=3)
+        ),
+        figure5=Figure5Spec(
+            config=figure5_config or ExperimentConfig(n_runs=3),
+            base_size=figure5_base_size,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+def _dumps(payload: Dict[str, object]) -> str:
+    """Canonical JSON: sorted keys, stable indentation, no timestamps.
+
+    Determinism is a feature — a resumed store must be byte-identical
+    to an uninterrupted one wherever the values themselves are
+    deterministic.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _slug(part: object) -> str:
+    return re.sub(r"[^A-Za-z0-9.+-]+", "-", str(part))
+
+
+def cell_id(surface: str, group: Sequence[object], cell: Sequence[object]) -> str:
+    """Stable file-name id of one grid cell."""
+    return "__".join(_slug(part) for part in (surface, *group, *cell))
+
+
+def _seed_fingerprint(rng: np.random.Generator) -> str:
+    """Digest of a generator's exact state (non-consuming).
+
+    Stored with every cell and re-derived on resume: a completed cell is
+    only skipped when the replayed schedule reaches it with the *same*
+    stream state, which is what makes the skip bit-identical.
+    """
+    state = json.dumps(rng.bit_generator.state, sort_keys=True, default=int)
+    return hashlib.sha1(state.encode()).hexdigest()
+
+
+class SweepStore:
+    """Directory-backed result store: a manifest plus one file per cell."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+
+    # -- lifecycle -----------------------------------------------------
+    def prepare(self, description: Dict[str, object], resume: bool) -> None:
+        """Create the store, or verify an existing one matches the grid."""
+        manifest = self.root / self.MANIFEST
+        if manifest.exists():
+            try:
+                existing = json.loads(manifest.read_text())
+            except (json.JSONDecodeError, OSError) as error:
+                raise SweepStoreError(
+                    f"unreadable sweep manifest {manifest}: {error}"
+                ) from error
+            if existing != description:
+                raise SweepStoreError(
+                    f"store {self.root} was written for a different grid; "
+                    "use a fresh --store directory (or the original grid)"
+                )
+            if not resume and self._has_cells():
+                raise SweepStoreError(
+                    f"store {self.root} already holds results; pass "
+                    "resume=True (--resume) to fill in missing cells, or "
+                    "choose a fresh directory"
+                )
+        else:
+            if self.root.exists() and any(self.root.iterdir()):
+                raise SweepStoreError(
+                    f"{self.root} exists, is not empty and has no sweep "
+                    "manifest; refusing to write into it"
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+            _atomic_write(manifest, _dumps(description))
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+
+    def _has_cells(self) -> bool:
+        return self.cells_dir.is_dir() and any(
+            self.cells_dir.glob("*.json")
+        )
+
+    # -- cells ---------------------------------------------------------
+    def cell_path(self, cell: str) -> Path:
+        return self.cells_dir / f"{cell}.json"
+
+    def load_cell(
+        self, cell: str
+    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        """(payload, problem): payload when clean, problem when damaged.
+
+        ``(None, None)`` means the cell simply has not run yet.
+        """
+        path = self.cell_path(cell)
+        if not path.exists():
+            return None, None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None, "unreadable"
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SWEEP_SCHEMA_VERSION
+            or payload.get("status") != "done"
+            or not isinstance(payload.get("values"), dict)
+            or not isinstance(payload.get("seed_state"), str)
+        ):
+            return None, "incomplete"
+        return payload, None
+
+    def write_cell(
+        self,
+        surface: str,
+        group: Sequence[object],
+        cell: Sequence[object],
+        seed_state: str,
+        values: Dict[str, object],
+    ) -> str:
+        name = cell_id(surface, group, cell)
+        payload = {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "surface": surface,
+            "group": [str(part) for part in group],
+            "cell": [str(part) for part in cell],
+            "seed_state": seed_state,
+            "status": "done",
+            "values": values,
+        }
+        _atomic_write(self.cell_path(name), _dumps(payload))
+        return name
+
+
+# ----------------------------------------------------------------------
+# Outcome
+# ----------------------------------------------------------------------
+@dataclass
+class SweepOutcome:
+    """What one :func:`run_sweep` invocation did, plus the reports."""
+
+    grid: SweepGrid
+    store_root: Path
+    executed: List[str] = field(default_factory=list)
+    reused: List[str] = field(default_factory=list)
+    invalid: List[str] = field(default_factory=list)
+    table2: Optional[object] = None  # Table2Report
+    table3: Optional[object] = None  # Table3Report
+    figure4: Optional[object] = None  # Figure4Report
+    figure5: Optional[object] = None  # Figure5Report
+
+    def artifacts(self):
+        """The four reports as a :class:`PaperArtifacts` bundle."""
+        from repro.experiments.reporting import PaperArtifacts
+
+        missing = [
+            name
+            for name in SWEEP_SURFACES
+            if getattr(self, name) is None
+        ]
+        if missing:
+            raise InvalidParameterError(
+                "artifacts() needs every surface in the grid; missing: "
+                + ", ".join(missing)
+            )
+        return PaperArtifacts(
+            table2=self.table2,
+            table3=self.table3,
+            figure4=self.figure4,
+            figure5=self.figure5,
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.executed)} cells run",
+            f"{len(self.reused)} reused",
+        ]
+        if self.invalid:
+            parts.append(f"{len(self.invalid)} damaged cells re-run")
+        return ", ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+Progress = Optional[Callable[[str], None]]
+
+
+@contextmanager
+def _group_scope(config: ExperimentConfig):
+    """Shared-memory publication scope for one dataset group.
+
+    Under the ``processes``/``auto`` backends, every run-set inside the
+    scope publishes the group's stable arrays (moment matrices, ``ÊD``
+    matrix) once via :func:`shared_block_registry`; the other backends
+    share the address space anyway, so no scope is needed.
+    """
+    if config.backend in ("processes", "auto"):
+        with shared_block_registry():
+            yield
+    else:
+        yield
+
+
+class _CellLedger:
+    """Per-surface bookkeeping shared by the four surface loops."""
+
+    def __init__(self, store: SweepStore, outcome: SweepOutcome, log):
+        self.store = store
+        self.outcome = outcome
+        self.log = log
+
+    def reuse_whole_group(
+        self, names: Sequence[str]
+    ) -> Optional[Dict[str, Dict[str, object]]]:
+        """All cells of a group, when every one is present and clean.
+
+        ``None`` when any cell is missing or damaged — the caller then
+        materializes the group and walks it cell by cell (which is
+        where damaged files get reported and re-run).  Group streams
+        are independent, so a fully-cached group can skip even its
+        dataset generation.
+        """
+        values: Dict[str, Dict[str, object]] = {}
+        for name in names:
+            payload, problem = self.store.load_cell(name)
+            if payload is None or problem is not None:
+                return None
+            values[name] = payload["values"]
+        self.outcome.reused.extend(names)
+        return values
+
+    def cached_values(
+        self, name: str, fingerprint: str
+    ) -> Optional[Dict[str, object]]:
+        """The stored values of one cell, iff reusable at this point.
+
+        Damaged files and fingerprint mismatches (a schedule that
+        reaches the cell with a different stream state) are recorded in
+        ``outcome.invalid`` and answered with ``None`` — the cell then
+        re-runs and its file is rewritten.
+        """
+        payload, problem = self.store.load_cell(name)
+        if problem is not None:
+            self.outcome.invalid.append(name)
+            self.log(f"damaged cell file ({problem}): {name} — re-running")
+            return None
+        if payload is None:
+            return None
+        if payload["seed_state"] != fingerprint:
+            self.outcome.invalid.append(name)
+            self.log(f"stale seed fingerprint: {name} — re-running")
+            return None
+        self.outcome.reused.append(name)
+        return payload["values"]
+
+
+def _sweep_table2(spec: Table2Spec, ledger: _CellLedger) -> object:
+    from repro.experiments.table2 import (
+        Table2Cell,
+        Table2Report,
+        prepare_table2_group,
+        run_table2_cell,
+        skip_table2_cell,
+    )
+
+    config = spec.config
+    report = Table2Report(
+        datasets=spec.datasets,
+        families=spec.families,
+        algorithms=spec.algorithms,
+    )
+    master = spawn_rngs(config.seed, len(spec.datasets) * len(spec.families))
+    stream_idx = 0
+    for ds_name in spec.datasets:
+        for family in spec.families:
+            rng = master[stream_idx]
+            stream_idx += 1
+            group = (ds_name, family)
+            names = {
+                alg: cell_id("table2", group, (alg,))
+                for alg in spec.algorithms
+            }
+            cached = ledger.reuse_whole_group(list(names.values()))
+            if cached is not None:
+                for alg in spec.algorithms:
+                    values = cached[names[alg]]
+                    report.cells[(ds_name, family, alg)] = Table2Cell(
+                        theta=values["theta"], quality=values["quality"]
+                    )
+                ledger.log(f"table2/{ds_name}/{family}: reused all cells")
+                continue
+            pair, n_classes = prepare_table2_group(ds_name, family, rng, config)
+            distances = None
+            with _group_scope(config):
+                for alg in spec.algorithms:
+                    fingerprint = _seed_fingerprint(rng)
+                    values = ledger.cached_values(names[alg], fingerprint)
+                    if values is not None:
+                        skip_table2_cell(rng, config)
+                        cell = Table2Cell(
+                            theta=values["theta"], quality=values["quality"]
+                        )
+                    else:
+                        if distances is None:
+                            distances = pair.uncertain.pairwise_ed()
+                        cell = run_table2_cell(
+                            alg, pair, n_classes, rng, config, distances
+                        )
+                        ledger.store.write_cell(
+                            "table2",
+                            group,
+                            (alg,),
+                            fingerprint,
+                            {"theta": cell.theta, "quality": cell.quality},
+                        )
+                        ledger.outcome.executed.append(names[alg])
+                        ledger.log(f"table2/{ds_name}/{family}/{alg}: done")
+                    report.cells[(ds_name, family, alg)] = cell
+    return report
+
+
+def _sweep_table3(spec: Table3Spec, ledger: _CellLedger) -> object:
+    from repro.experiments.table3 import (
+        Table3Report,
+        prepare_table3_group,
+        run_table3_cell,
+        skip_table3_cell,
+    )
+
+    config = spec.config
+    report = Table3Report(
+        datasets=spec.datasets,
+        cluster_counts=spec.cluster_counts,
+        algorithms=spec.algorithms,
+    )
+    streams = spawn_rngs(config.seed, len(spec.datasets))
+    for ds_name, ds_rng in zip(spec.datasets, streams):
+        cells = [
+            (k, alg) for k in spec.cluster_counts for alg in spec.algorithms
+        ]
+        names = {
+            (k, alg): cell_id("table3", (ds_name,), (f"k{k}", alg))
+            for k, alg in cells
+        }
+        cached = ledger.reuse_whole_group([names[key] for key in cells])
+        if cached is not None:
+            for k, alg in cells:
+                report.quality[(ds_name, k, alg)] = cached[names[(k, alg)]][
+                    "quality"
+                ]
+            ledger.log(f"table3/{ds_name}: reused all cells")
+            continue
+        dataset = prepare_table3_group(ds_name, ds_rng, config)
+        distances = None
+        with _group_scope(config):
+            for k, alg in cells:
+                fingerprint = _seed_fingerprint(ds_rng)
+                values = ledger.cached_values(names[(k, alg)], fingerprint)
+                if values is not None:
+                    skip_table3_cell(ds_rng, config)
+                    quality = float(values["quality"])
+                else:
+                    if distances is None:
+                        distances = dataset.pairwise_ed()
+                    quality = run_table3_cell(
+                        alg, dataset, k, ds_rng, config, distances
+                    )
+                    ledger.store.write_cell(
+                        "table3",
+                        (ds_name,),
+                        (f"k{k}", alg),
+                        fingerprint,
+                        {"quality": quality},
+                    )
+                    ledger.outcome.executed.append(names[(k, alg)])
+                    ledger.log(f"table3/{ds_name}/k{k}/{alg}: done")
+                report.quality[(ds_name, k, alg)] = quality
+    return report
+
+
+def _sweep_figure4(spec: Figure4Spec, ledger: _CellLedger) -> object:
+    from repro.experiments.figure4 import (
+        Figure4Report,
+        figure4_roster,
+        prepare_figure4_group,
+        run_figure4_cell,
+        skip_figure4_cell,
+    )
+
+    config = spec.config
+    report = Figure4Report(
+        datasets=spec.datasets,
+        slow_group=spec.slow_group,
+        fast_group=spec.fast_group,
+    )
+    roster = figure4_roster(spec.slow_group, spec.fast_group)
+    streams = spawn_rngs(config.seed, len(spec.datasets))
+    for ds_name, ds_rng in zip(spec.datasets, streams):
+        names = {
+            alg: cell_id("figure4", (ds_name,), (alg,)) for alg in roster
+        }
+        cached = ledger.reuse_whole_group([names[alg] for alg in roster])
+        if cached is not None:
+            for alg in roster:
+                report.runtimes_ms[(ds_name, alg)] = float(
+                    cached[names[alg]]["runtime_ms"]
+                )
+            ledger.log(f"figure4/{ds_name}: reused all cells")
+            continue
+        dataset = prepare_figure4_group(ds_name, ds_rng, config)
+        k = min(spec.n_clusters, len(dataset) - 1)
+        with _group_scope(config):
+            for alg in roster:
+                fingerprint = _seed_fingerprint(ds_rng)
+                values = ledger.cached_values(names[alg], fingerprint)
+                if values is not None:
+                    skip_figure4_cell(ds_rng, config)
+                    runtime_ms = float(values["runtime_ms"])
+                else:
+                    runtime_ms = run_figure4_cell(
+                        alg, dataset, k, ds_rng, config
+                    )
+                    ledger.store.write_cell(
+                        "figure4",
+                        (ds_name,),
+                        (alg,),
+                        fingerprint,
+                        {"runtime_ms": runtime_ms},
+                    )
+                    ledger.outcome.executed.append(names[alg])
+                    ledger.log(f"figure4/{ds_name}/{alg}: done")
+                report.runtimes_ms[(ds_name, alg)] = runtime_ms
+    return report
+
+
+def _sweep_figure5(spec: Figure5Spec, ledger: _CellLedger) -> object:
+    from repro.experiments.figure5 import (
+        Figure5Report,
+        prepare_figure5_base,
+        prepare_figure5_fraction,
+        run_figure5_cell,
+        skip_figure5_cell,
+    )
+
+    config = spec.config
+    report = Figure5Report(
+        fractions=spec.fractions, algorithms=spec.algorithms
+    )
+    names = {
+        (frac, alg): cell_id("figure5", (f"f{frac}",), (alg,))
+        for frac in spec.fractions
+        for alg in spec.algorithms
+    }
+    # Figure 5's fractions share one data stream (each subset draw
+    # consumes it), so the surface can only skip dataset synthesis when
+    # *every* cell is reusable; otherwise the full sequence is replayed.
+    cached = ledger.reuse_whole_group(
+        [names[key] for key in names]
+    )
+    if cached is not None:
+        for (frac, alg), name in names.items():
+            values = cached[name]
+            report.runtimes_ms[(frac, alg)] = float(values["runtime_ms"])
+            report.sizes[frac] = int(values["n"])
+        ledger.log("figure5: reused all cells")
+        return report
+    full, rng_data, rng_runs = prepare_figure5_base(config, spec.base_size)
+    for frac in spec.fractions:
+        subset = prepare_figure5_fraction(full, frac, rng_data)
+        report.sizes[frac] = len(subset)
+        k = min(FIGURE5_K, len(subset) - 1)
+        with _group_scope(config):
+            for alg in spec.algorithms:
+                fingerprint = _seed_fingerprint(rng_runs)
+                values = ledger.cached_values(
+                    names[(frac, alg)], fingerprint
+                )
+                if values is not None:
+                    skip_figure5_cell(rng_runs, config)
+                    runtime_ms = float(values["runtime_ms"])
+                else:
+                    runtime_ms = run_figure5_cell(
+                        alg, subset, k, rng_runs, config
+                    )
+                    ledger.store.write_cell(
+                        "figure5",
+                        (f"f{frac}",),
+                        (alg,),
+                        fingerprint,
+                        {"runtime_ms": runtime_ms, "n": len(subset)},
+                    )
+                    ledger.outcome.executed.append(names[(frac, alg)])
+                    ledger.log(f"figure5/f{frac}/{alg}: done")
+                report.runtimes_ms[(frac, alg)] = runtime_ms
+    return report
+
+
+_SURFACE_RUNNERS = {
+    "table2": _sweep_table2,
+    "table3": _sweep_table3,
+    "figure4": _sweep_figure4,
+    "figure5": _sweep_figure5,
+}
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: Union[str, Path],
+    resume: bool = False,
+    progress: Progress = None,
+) -> SweepOutcome:
+    """Execute (or resume) one paper-grid sweep against a result store.
+
+    Parameters
+    ----------
+    grid:
+        The surfaces to run; see :class:`SweepGrid` / :func:`paper_grid`.
+    store:
+        Result-store directory.  Created when new; an existing store
+        must carry the same grid manifest (anything else raises
+        :class:`~repro.exceptions.SweepStoreError`).
+    resume:
+        Reuse completed cells from the store, replaying their seed
+        consumption so pending cells get bit-identical streams.
+        Without ``resume``, a store that already holds cells is
+        refused.
+    progress:
+        Optional ``callable(str)`` receiving one line per cell/group
+        event (the CLI passes ``print``).
+
+    Returns
+    -------
+    SweepOutcome
+        Executed/reused/invalid cell ids plus one report per surface,
+        each equal to its direct runner's output for the same spec.
+    """
+    sweep_store = SweepStore(store)
+    sweep_store.prepare(grid.describe(), resume)
+    outcome = SweepOutcome(grid=grid, store_root=sweep_store.root)
+    ledger = _CellLedger(sweep_store, outcome, progress or (lambda _msg: None))
+    for name in SWEEP_SURFACES:
+        spec = getattr(grid, name)
+        if spec is not None:
+            setattr(outcome, name, _SURFACE_RUNNERS[name](spec, ledger))
+    return outcome

@@ -14,6 +14,7 @@ from repro.evaluation.protocol import (
     ThetaResult,
     evaluate_theta,
     evaluate_theta_multirun,
+    multirun_stream_plan,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "ThetaResult",
     "evaluate_theta",
     "evaluate_theta_multirun",
+    "multirun_stream_plan",
 ]

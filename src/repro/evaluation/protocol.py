@@ -132,7 +132,7 @@ def evaluate_theta_multirun(
     engine: bool = True,
     backend: str = "serial",
     n_jobs: int = 1,
-    batch_size: int = 1,
+    batch_size: "int | str" = 1,
 ) -> AveragedThetaResult:
     """Average the paired protocol over independent runs.
 
@@ -176,12 +176,7 @@ def evaluate_theta_multirun(
         raise InvalidParameterError(
             "the protocol needs reference labels on the uncertain dataset"
         )
-    seeds = spawn_rngs(seed, n_runs)
-    # Two extra streams for the shared-tensor draws.  Derived in *both*
-    # modes (and for every algorithm type) so ``seed`` consumption —
-    # and hence any caller reusing the generator afterwards — never
-    # depends on the routing mode or the roster position.
-    sample_rng1, sample_rng2 = _extra_streams(seed, 2, already=n_runs)
+    seeds, sample_rng1, sample_rng2 = multirun_stream_plan(seed, n_runs)
     thetas = np.empty(n_runs)
     qualities = np.empty(n_runs)
     runtimes = np.empty(n_runs)
@@ -233,6 +228,28 @@ def evaluate_theta_multirun(
         runtime_mean=float(runtimes.mean()),
         n_runs=n_runs,
     )
+
+
+def multirun_stream_plan(seed: SeedLike, n_runs: int):
+    """The exact streams one :func:`evaluate_theta_multirun` call derives.
+
+    Returns ``(run_seeds, sample_rng1, sample_rng2)``: one stream per
+    run plus the two shared-tensor streams, consumed from ``seed`` in
+    this fixed order regardless of routing mode or algorithm type.
+
+    Exposed so schedulers that interleave completed and pending cells
+    (the sweep orchestrator's ``--resume``) can *replay* a finished
+    cell's seed consumption without running its fits — calling this
+    function advances a stateful ``Generator`` seed exactly as the real
+    evaluation would, keeping every later cell's streams bit-identical.
+    """
+    run_seeds = spawn_rngs(seed, n_runs)
+    # Two extra streams for the shared-tensor draws.  Derived for every
+    # algorithm type so ``seed`` consumption — and hence any caller
+    # reusing the generator afterwards — never depends on the routing
+    # mode or the roster position.
+    sample_rng1, sample_rng2 = _extra_streams(seed, 2, already=n_runs)
+    return run_seeds, sample_rng1, sample_rng2
 
 
 def _extra_streams(seed: SeedLike, count: int, already: int):

@@ -47,3 +47,13 @@ class ConvergenceWarning(UserWarning):
 
 class UnsupportedDistributionError(ReproError, TypeError):
     """A distribution family does not support the requested operation."""
+
+
+class SweepStoreError(ReproError, RuntimeError):
+    """A sweep result store cannot be (re)used as requested.
+
+    Raised when a store directory belongs to a different grid, already
+    holds results and ``resume`` was not requested, or its manifest is
+    unreadable — cases where silently writing on would mix measurements
+    from incompatible schedules.
+    """

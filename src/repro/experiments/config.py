@@ -131,6 +131,8 @@ class ExperimentConfig:
         Restarts submitted per pool task (in-worker batching; see
         :class:`repro.engine.MultiRestartRunner`).  Result-identical
         for any value — amortizes pool overhead for sub-ms fits.
+        ``"auto"`` sizes chunks adaptively from the measured per-fit
+        latency of each series' first completed task.
     """
 
     scale: float = 1.0
@@ -143,10 +145,10 @@ class ExperimentConfig:
     engine: bool = True
     backend: str = "serial"
     n_jobs: int = 1
-    batch_size: int = 1
+    batch_size: "int | str" = 1
 
     def __post_init__(self) -> None:
-        from repro.engine.backends import BACKEND_NAMES
+        from repro.engine.backends import BACKEND_NAMES, validate_batch_size
 
         if not (0.0 < self.scale <= 1.0):
             raise InvalidParameterError(f"scale must be in (0, 1], got {self.scale}")
@@ -162,7 +164,4 @@ class ExperimentConfig:
             )
         if self.n_jobs < 1:
             raise InvalidParameterError(f"n_jobs must be >= 1, got {self.n_jobs}")
-        if self.batch_size < 1:
-            raise InvalidParameterError(
-                f"batch_size must be >= 1, got {self.batch_size}"
-            )
+        validate_batch_size(self.batch_size)

@@ -96,6 +96,54 @@ def _load_dataset(
     return generator.uncertain_dataset(points, labels, seed=seed)
 
 
+# ----------------------------------------------------------------------
+# Group / cell executors (shared with the sweep orchestrator)
+# ----------------------------------------------------------------------
+def prepare_figure4_group(
+    ds_name: str, ds_rng, config: ExperimentConfig
+) -> UncertainDataset:
+    """Materialize one Figure 4 dataset group (consumes ``ds_rng``)."""
+    return _load_dataset(ds_name, config, ds_rng)
+
+
+def figure4_roster(
+    slow_group: Sequence[str] = SLOW_ROSTER,
+    fast_group: Sequence[str] = FAST_ROSTER,
+) -> List[str]:
+    """The deduplicated run order of one Figure 4 dataset group."""
+    return list(dict.fromkeys(list(slow_group) + list(fast_group) + ["UCPC"]))
+
+
+def run_figure4_cell(
+    alg_name: str, dataset: UncertainDataset, k: int, ds_rng, config: ExperimentConfig
+) -> float:
+    """Mean on-line runtime (ms) of one (dataset, algorithm) cell."""
+    algorithm = build_algorithm(
+        alg_name, n_clusters=k, n_samples=config.n_samples
+    )
+    # n_runs + 1 streams: the last seeds the shared tensor (when
+    # applicable), keeping ds_rng consumption independent of the engine
+    # mode and of the algorithm type.
+    streams = spawn_rngs(ds_rng, config.n_runs + 1)
+    results = fit_runs(
+        algorithm,
+        dataset,
+        streams[:-1],
+        engine=config.engine,
+        sample_seed=streams[-1],
+        backend=config.backend,
+        n_jobs=config.n_jobs,
+        batch_size=config.batch_size,
+    )
+    times = np.array([result.runtime_seconds for result in results])
+    return float(times.mean() * 1e3)
+
+
+def skip_figure4_cell(ds_rng, config: ExperimentConfig) -> None:
+    """Replay one cell's ``ds_rng`` consumption without running fits."""
+    spawn_rngs(ds_rng, config.n_runs + 1)
+
+
 def run_figure4(
     config: Optional[ExperimentConfig] = None,
     datasets: Sequence[str] = FIGURE4_DATASETS,
@@ -118,28 +166,12 @@ def run_figure4(
         fast_group=tuple(fast_group),
     )
     streams = spawn_rngs(config.seed, len(datasets))
-    roster = list(dict.fromkeys(list(slow_group) + list(fast_group) + ["UCPC"]))
+    roster = figure4_roster(slow_group, fast_group)
     for ds_name, ds_rng in zip(datasets, streams):
-        dataset = _load_dataset(ds_name, config, ds_rng)
+        dataset = prepare_figure4_group(ds_name, ds_rng, config)
         k = min(n_clusters, len(dataset) - 1)
         for alg_name in roster:
-            algorithm = build_algorithm(
-                alg_name, n_clusters=k, n_samples=config.n_samples
+            report.runtimes_ms[(ds_name, alg_name)] = run_figure4_cell(
+                alg_name, dataset, k, ds_rng, config
             )
-            # n_runs + 1 streams: the last seeds the shared tensor (when
-            # applicable), keeping ds_rng consumption independent of the
-            # engine mode and of the algorithm type.
-            streams = spawn_rngs(ds_rng, config.n_runs + 1)
-            results = fit_runs(
-                algorithm,
-                dataset,
-                streams[:-1],
-                engine=config.engine,
-                sample_seed=streams[-1],
-                backend=config.backend,
-                n_jobs=config.n_jobs,
-                batch_size=config.batch_size,
-            )
-            times = np.array([result.runtime_seconds for result in results])
-            report.runtimes_ms[(ds_name, alg_name)] = float(times.mean() * 1e3)
     return report

@@ -81,6 +81,62 @@ class Figure5Report:
         )
 
 
+# ----------------------------------------------------------------------
+# Group / cell executors (shared with the sweep orchestrator)
+# ----------------------------------------------------------------------
+def prepare_figure5_base(config: ExperimentConfig, base_size: int):
+    """The full KDD-shaped dataset plus the two master streams.
+
+    Returns ``(full, rng_data, rng_runs)``; ``rng_data`` is consumed
+    further by each fraction's stratified subset draw, ``rng_runs`` by
+    each cell — both statefully, so the sweep replays this sequence in
+    full whenever any Figure 5 cell is pending.
+    """
+    rng_data, rng_runs = spawn_rngs(config.seed, 2)
+    scale = min(1.0, base_size / 4_000_000)
+    points, labels = make_benchmark("kddcup99", scale=scale, seed=rng_data)
+    generator = UncertaintyGenerator(
+        family="normal", spread=config.spread, mass=config.mass
+    )
+    full = generator.uncertain_dataset(points, labels, seed=rng_data)
+    return full, rng_data, rng_runs
+
+
+def prepare_figure5_fraction(full, frac: float, rng_data):
+    """One fraction's stratified subset (consumes ``rng_data``)."""
+    return full.sample_fraction(frac, seed=rng_data, stratified=True)
+
+
+def run_figure5_cell(
+    alg_name: str, subset, k: int, rng_runs, config: ExperimentConfig
+) -> float:
+    """Mean on-line runtime (ms) of one (fraction, algorithm) cell."""
+    algorithm = build_algorithm(
+        alg_name, n_clusters=k, n_samples=config.n_samples
+    )
+    # n_runs + 1 streams: the last seeds the shared tensor (when
+    # applicable), keeping rng_runs consumption independent of the
+    # engine mode and of the algorithm type.
+    streams = spawn_rngs(rng_runs, config.n_runs + 1)
+    results = fit_runs(
+        algorithm,
+        subset,
+        streams[:-1],
+        engine=config.engine,
+        sample_seed=streams[-1],
+        backend=config.backend,
+        n_jobs=config.n_jobs,
+        batch_size=config.batch_size,
+    )
+    times = np.array([result.runtime_seconds for result in results])
+    return float(times.mean() * 1e3)
+
+
+def skip_figure5_cell(rng_runs, config: ExperimentConfig) -> None:
+    """Replay one cell's ``rng_runs`` consumption without running fits."""
+    spawn_rngs(rng_runs, config.n_runs + 1)
+
+
 def run_figure5(
     config: Optional[ExperimentConfig] = None,
     fractions: Sequence[float] = FIGURE5_FRACTIONS,
@@ -100,36 +156,14 @@ def run_figure5(
     report = Figure5Report(
         fractions=tuple(fractions), algorithms=tuple(algorithms)
     )
-    rng_data, rng_runs = spawn_rngs(config.seed, 2)
-    scale = min(1.0, base_size / 4_000_000)
-    points, labels = make_benchmark("kddcup99", scale=scale, seed=rng_data)
-    generator = UncertaintyGenerator(
-        family="normal", spread=config.spread, mass=config.mass
-    )
-    full = generator.uncertain_dataset(points, labels, seed=rng_data)
+    full, rng_data, rng_runs = prepare_figure5_base(config, base_size)
 
     for frac in fractions:
-        subset = full.sample_fraction(frac, seed=rng_data, stratified=True)
+        subset = prepare_figure5_fraction(full, frac, rng_data)
         report.sizes[frac] = len(subset)
         k = min(FIGURE5_K, len(subset) - 1)
         for alg_name in algorithms:
-            algorithm = build_algorithm(
-                alg_name, n_clusters=k, n_samples=config.n_samples
+            report.runtimes_ms[(frac, alg_name)] = run_figure5_cell(
+                alg_name, subset, k, rng_runs, config
             )
-            # n_runs + 1 streams: the last seeds the shared tensor (when
-            # applicable), keeping rng_runs consumption independent of
-            # the engine mode and of the algorithm type.
-            streams = spawn_rngs(rng_runs, config.n_runs + 1)
-            results = fit_runs(
-                algorithm,
-                subset,
-                streams[:-1],
-                engine=config.engine,
-                sample_seed=streams[-1],
-                backend=config.backend,
-                n_jobs=config.n_jobs,
-                batch_size=config.batch_size,
-            )
-            times = np.array([result.runtime_seconds for result in results])
-            report.runtimes_ms[(frac, alg_name)] = float(times.mean() * 1e3)
     return report

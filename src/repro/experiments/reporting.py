@@ -35,8 +35,31 @@ def collect_artifacts(
     figure4_config: Optional[ExperimentConfig] = None,
     figure5_config: Optional[ExperimentConfig] = None,
     figure5_base_size: int = 20000,
+    store: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> PaperArtifacts:
-    """Run all four experiment suites with the given configurations."""
+    """Run all four experiment suites with the given configurations.
+
+    With ``store`` set, the four suites execute through the sweep
+    orchestrator (:func:`repro.engine.sweep.run_sweep`) instead of four
+    isolated runner calls: per-dataset caches are shared across the
+    whole grid, every cell lands in the resumable result store at
+    ``store``, and ``resume=True`` reuses completed cells from an
+    earlier (possibly interrupted) invocation.  Cell values are
+    identical in both modes — the orchestrator runs the runners' own
+    group/cell executors.
+    """
+    if store is not None:
+        from repro.engine.sweep import paper_grid, run_sweep
+
+        grid = paper_grid(
+            table2_config=table2_config,
+            table3_config=table3_config,
+            figure4_config=figure4_config,
+            figure5_config=figure5_config,
+            figure5_base_size=figure5_base_size,
+        )
+        return run_sweep(grid, store, resume=resume).artifacts()
     return PaperArtifacts(
         table2=run_table2(table2_config),
         table3=run_table3(table3_config),

@@ -22,8 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datagen.benchmarks import make_benchmark
-from repro.datagen.uncertainty_gen import PDF_FAMILIES, UncertaintyGenerator
-from repro.evaluation.protocol import evaluate_theta_multirun
+from repro.datagen.uncertainty_gen import (
+    PDF_FAMILIES,
+    UncertainDataPair,
+    UncertaintyGenerator,
+)
+from repro.evaluation.protocol import evaluate_theta_multirun, multirun_stream_plan
 from repro.experiments.config import ACCURACY_ROSTER, ExperimentConfig, build_algorithm
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_table
@@ -121,6 +125,68 @@ class Table2Report:
         return format_table(rows, headers=headers, title=f"Table 2 — {titles[metric]}")
 
 
+# ----------------------------------------------------------------------
+# Group / cell executors (shared with the sweep orchestrator)
+# ----------------------------------------------------------------------
+def prepare_table2_group(
+    ds_name: str, family: str, rng, config: ExperimentConfig
+) -> Tuple[UncertainDataPair, int]:
+    """Materialize one (dataset, family) group: the paired datasets.
+
+    Consumes ``rng`` exactly as :func:`run_table2` always did (benchmark
+    generation, then uncertainty injection), so the sweep orchestrator
+    and the direct runner derive bit-identical per-cell streams.
+    """
+    points, labels = make_benchmark(
+        ds_name,
+        scale=config.scale,
+        seed=rng,
+        max_objects=config.max_objects,
+    )
+    generator = UncertaintyGenerator(
+        family=family, spread=config.spread, mass=config.mass
+    )
+    pair = generator.generate(points, labels, seed=rng)
+    n_classes = int(np.unique(labels).size)
+    return pair, n_classes
+
+
+def run_table2_cell(
+    alg_name: str,
+    pair: UncertainDataPair,
+    n_classes: int,
+    rng,
+    config: ExperimentConfig,
+    distances: np.ndarray,
+) -> Table2Cell:
+    """One (dataset, family, algorithm) measurement of Table 2."""
+    algorithm = build_algorithm(
+        alg_name, n_clusters=n_classes, n_samples=config.n_samples
+    )
+    outcome = evaluate_theta_multirun(
+        algorithm,
+        pair,
+        n_runs=config.n_runs,
+        seed=rng,
+        distances=distances,
+        engine=config.engine,
+        backend=config.backend,
+        n_jobs=config.n_jobs,
+        batch_size=config.batch_size,
+    )
+    return Table2Cell(theta=outcome.theta_mean, quality=outcome.quality_mean)
+
+
+def skip_table2_cell(rng, config: ExperimentConfig) -> None:
+    """Replay one cell's seed consumption without running its fits.
+
+    The sweep's resume path calls this for completed cells so that the
+    group stream reaches every later cell in exactly the state the
+    uninterrupted run would have produced.
+    """
+    multirun_stream_plan(rng, config.n_runs)
+
+
 def run_table2(
     config: Optional[ExperimentConfig] = None,
     datasets: Sequence[str] = TABLE2_DATASETS,
@@ -145,37 +211,13 @@ def run_table2(
         for family in families:
             rng = master_streams[stream_idx]
             stream_idx += 1
-            points, labels = make_benchmark(
-                ds_name,
-                scale=config.scale,
-                seed=rng,
-                max_objects=config.max_objects,
-            )
-            generator = UncertaintyGenerator(
-                family=family, spread=config.spread, mass=config.mass
-            )
-            pair = generator.generate(points, labels, seed=rng)
-            n_classes = int(np.unique(labels).size)
+            pair, n_classes = prepare_table2_group(ds_name, family, rng, config)
             # The dataset-cached plane: the same matrix scores every
             # algorithm's internal criterion *and* feeds UK-medoids'
             # fits (threaded through evaluate_theta_multirun).
             distances = pair.uncertain.pairwise_ed()
             for alg_name in algorithms:
-                algorithm = build_algorithm(
-                    alg_name, n_clusters=n_classes, n_samples=config.n_samples
-                )
-                outcome = evaluate_theta_multirun(
-                    algorithm,
-                    pair,
-                    n_runs=config.n_runs,
-                    seed=rng,
-                    distances=distances,
-                    engine=config.engine,
-                    backend=config.backend,
-                    n_jobs=config.n_jobs,
-                    batch_size=config.batch_size,
-                )
-                report.cells[(ds_name, family, alg_name)] = Table2Cell(
-                    theta=outcome.theta_mean, quality=outcome.quality_mean
+                report.cells[(ds_name, family, alg_name)] = run_table2_cell(
+                    alg_name, pair, n_classes, rng, config, distances
                 )
     return report

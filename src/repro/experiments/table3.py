@@ -86,6 +86,59 @@ class Table3Report:
         return format_table(rows, headers=headers, title="Table 3 — Quality (Q)")
 
 
+# ----------------------------------------------------------------------
+# Group / cell executors (shared with the sweep orchestrator)
+# ----------------------------------------------------------------------
+def prepare_table3_group(ds_name: str, ds_rng, config: ExperimentConfig):
+    """Materialize one Table 3 dataset group (consumes ``ds_rng``)."""
+    return make_microarray(
+        ds_name, scale=config.scale, mass=config.mass, seed=ds_rng
+    )
+
+
+def run_table3_cell(
+    alg_name: str,
+    dataset,
+    k: int,
+    ds_rng,
+    config: ExperimentConfig,
+    distances: np.ndarray,
+) -> float:
+    """Mean Q of one (dataset, k, algorithm) cell of Table 3."""
+    k_eff = min(k, len(dataset) - 1)
+    algorithm = build_algorithm(
+        alg_name, n_clusters=k_eff, n_samples=config.n_samples
+    )
+    # n_runs + 1 streams: the last seeds the shared tensor (when
+    # applicable), so ds_rng consumption — and hence every later cell's
+    # seeds — is identical whichever engine mode (and algorithm type)
+    # ran before.
+    streams = spawn_rngs(ds_rng, config.n_runs + 1)
+    results = fit_runs(
+        algorithm,
+        dataset,
+        streams[:-1],
+        engine=config.engine,
+        sample_seed=streams[-1],
+        backend=config.backend,
+        n_jobs=config.n_jobs,
+        batch_size=config.batch_size,
+        pairwise_ed=distances,
+    )
+    scores = np.array(
+        [
+            internal_scores(dataset, result.labels, distances).quality
+            for result in results
+        ]
+    )
+    return float(scores.mean())
+
+
+def skip_table3_cell(ds_rng, config: ExperimentConfig) -> None:
+    """Replay one cell's ``ds_rng`` consumption without running fits."""
+    spawn_rngs(ds_rng, config.n_runs + 1)
+
+
 def run_table3(
     config: Optional[ExperimentConfig] = None,
     datasets: Sequence[str] = TABLE3_DATASETS,
@@ -111,39 +164,13 @@ def run_table3(
     )
     streams = spawn_rngs(config.seed, len(datasets))
     for ds_name, ds_rng in zip(datasets, streams):
-        dataset = make_microarray(
-            ds_name, scale=config.scale, mass=config.mass, seed=ds_rng
-        )
+        dataset = prepare_table3_group(ds_name, ds_rng, config)
         # Dataset-cached plane: scores every cell's internal criterion
         # and feeds UK-medoids' engine-routed fits below.
         distances = dataset.pairwise_ed()
         for k in cluster_counts:
-            k_eff = min(k, len(dataset) - 1)
             for alg_name in algorithms:
-                algorithm = build_algorithm(
-                    alg_name, n_clusters=k_eff, n_samples=config.n_samples
+                report.quality[(ds_name, k, alg_name)] = run_table3_cell(
+                    alg_name, dataset, k, ds_rng, config, distances
                 )
-                # n_runs + 1 streams: the last seeds the shared tensor
-                # (when applicable), so ds_rng consumption — and hence
-                # every later cell's seeds — is identical whichever
-                # engine mode (and algorithm type) ran before.
-                streams = spawn_rngs(ds_rng, config.n_runs + 1)
-                results = fit_runs(
-                    algorithm,
-                    dataset,
-                    streams[:-1],
-                    engine=config.engine,
-                    sample_seed=streams[-1],
-                    backend=config.backend,
-                    n_jobs=config.n_jobs,
-                    batch_size=config.batch_size,
-                    pairwise_ed=distances,
-                )
-                scores = np.array(
-                    [
-                        internal_scores(dataset, result.labels, distances).quality
-                        for result in results
-                    ]
-                )
-                report.quality[(ds_name, k, alg_name)] = float(scores.mean())
     return report

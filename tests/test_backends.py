@@ -18,7 +18,7 @@ from multiprocessing import shared_memory
 import numpy as np
 import pytest
 
-from repro.clustering import BasicUKMeans, MinMaxBB, UKMeans, UKMedoids
+from repro.clustering import UAHC, BasicUKMeans, MinMaxBB, UKMeans, UKMedoids
 from repro.datagen import make_blobs_uncertain
 from repro.engine import (
     BACKEND_NAMES,
@@ -29,6 +29,8 @@ from repro.engine import (
     SerialBackend,
     ThreadBackend,
     get_backend,
+    shared_block_registry,
+    validate_batch_size,
 )
 from repro.exceptions import InvalidParameterError
 
@@ -145,6 +147,67 @@ class TestBackendInvariance:
             ).run(data, seed=7)
             assert result.extras["engine_batch_size"] == batch_size
             _assert_same_result(reference, result)
+
+    @pytest.mark.parametrize("early_stopping", [None, 1])
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UKMeans(4),  # moment-based roster
+            lambda: BasicUKMeans(4, n_samples=16),  # sample-based roster
+            lambda: UKMedoids(4),  # pairwise-plane roster
+        ],
+    )
+    def test_adaptive_batching_bit_identical(
+        self, data, factory, early_stopping
+    ):
+        """Satellite: batch_size="auto" ≡ batch_size=1 for fixed seeds
+        on every roster.  These sub-ms fits make the adaptive policy
+        pick large chunks, so with early_stopping=1 the stop decision
+        lands mid-chunk and the surplus must be discarded exactly as
+        the unbatched prefix would be."""
+        reference = MultiRestartRunner(
+            factory(), n_init=6, backend="serial",
+            early_stopping=early_stopping, batch_size=1,
+        ).run(data, seed=7)
+        for backend, n_jobs in (("threads", 3), ("processes", 2)):
+            result = MultiRestartRunner(
+                factory(), n_init=6, n_jobs=n_jobs, backend=backend,
+                early_stopping=early_stopping, batch_size="auto",
+            ).run(data, seed=7)
+            assert result.extras["engine_batch_size"] == "auto"
+            _assert_same_result(reference, result)
+
+    def test_adaptive_batching_out_of_order_completion(self, data):
+        """Seed-dependent jitter + adaptive chunks: the stopping
+        decision still cannot move."""
+        reference = MultiRestartRunner(
+            JitterUKMeans(4), n_init=8, backend="serial", early_stopping=1
+        ).run(data, seed=21)
+        result = MultiRestartRunner(
+            JitterUKMeans(4), n_init=8, n_jobs=4, backend="threads",
+            early_stopping=1, batch_size="auto",
+        ).run(data, seed=21)
+        _assert_same_result(reference, result)
+
+    def test_adaptive_chunk_size_from_latency(self):
+        """The policy targets ADAPTIVE_TARGET_SECONDS per task and
+        clamps to [1, ADAPTIVE_MAX_BATCH]."""
+        from repro.clustering.base import ClusteringResult
+        from repro.engine.backends import (
+            ADAPTIVE_MAX_BATCH,
+            ADAPTIVE_TARGET_SECONDS,
+            _adaptive_chunk_size,
+        )
+
+        def probe(runtime):
+            return [ClusteringResult(labels=[0], runtime_seconds=runtime)]
+
+        # Degenerate (clock-granularity) probes read as "very fast".
+        assert _adaptive_chunk_size(probe(0.0)) == ADAPTIVE_MAX_BATCH
+        # A fit 1/5th of the target gets a 5-chunk.
+        assert _adaptive_chunk_size(probe(ADAPTIVE_TARGET_SECONDS / 5)) == 5
+        # Slow fits degrade to unbatched submission.
+        assert _adaptive_chunk_size(probe(10.0)) == 1
 
     def test_pruning_variant_across_backends(self, data):
         reference = MultiRestartRunner(
@@ -387,6 +450,39 @@ class TestProcessBackendSharedMemory:
         assert len(backend.last_shared_specs) == 4
         self._assert_blocks_unlinked(backend)
 
+    def test_uahc_pairwise_matrix_not_pickled(self, data):
+        """UAHC's ``"ed"`` linkage joins the plane: its pinned ÊD matrix
+        rides shared memory under the process backend, never pickle."""
+        matrix = data.pairwise_ed()
+        trapped = UAHC(3, linkage="ed")
+        trapped.pairwise_ed_cache = matrix.view(_PickleTrap)
+        via_processes = MultiRestartRunner(
+            trapped, n_init=4, n_jobs=2, backend="processes"
+        ).run_all(data, seeds=[0, 1, 2, 3])
+        plain = UAHC(3, linkage="ed")
+        plain.pairwise_ed_cache = matrix
+        via_serial = MultiRestartRunner(
+            plain, n_init=4, backend="serial"
+        ).run_all(data, seeds=[0, 1, 2, 3])
+        for serial_run, process_run in zip(via_serial, via_processes):
+            np.testing.assert_array_equal(
+                serial_run.labels, process_run.labels
+            )
+        # The trap must still be armed (pin restored after the run).
+        with pytest.raises(AssertionError, match="shared memory"):
+            import pickle
+
+            pickle.dumps(trapped.pairwise_ed_cache)
+
+    def test_uahc_pairwise_block_published_and_unlinked(self, data):
+        backend = ProcessBackend(n_jobs=2)
+        MultiRestartRunner(
+            UAHC(3, linkage="ed"), n_init=4, backend=backend
+        ).run_all(data, seeds=[0, 1, 2, 3])
+        # Moment matrices + the engine-injected ÊD matrix.
+        assert len(backend.last_shared_specs) == 4
+        self._assert_blocks_unlinked(backend)
+
     def test_worker_dataset_views_match_parent(self, data):
         """Workers rebuild the dataset around shared views; fitting the
         same seeds through them must equal in-process fits."""
@@ -398,6 +494,79 @@ class TestProcessBackendSharedMemory:
         ).run_all(data, seeds=[1, 2, 3, 4])
         for ref, res in zip(reference, results):
             np.testing.assert_array_equal(ref, res.labels)
+
+
+class TestSharedBlockRegistry:
+    """The sweep's per-group publication scope: stable arrays (moment
+    matrices, the ÊD matrix) go into shared memory once per group, not
+    once per run-set."""
+
+    def _counting_shared_ndarray(self, monkeypatch):
+        import repro.engine.backends as backends_module
+
+        original = backends_module._SharedNDArray
+        created = []
+
+        class Counting(original):
+            def __init__(self, array):
+                created.append(array.shape)
+                super().__init__(array)
+
+        monkeypatch.setattr(backends_module, "_SharedNDArray", Counting)
+        return created
+
+    def test_blocks_published_once_per_group(self, data, monkeypatch):
+        created = self._counting_shared_ndarray(monkeypatch)
+        reference = MultiRestartRunner(
+            UKMedoids(3), n_init=4, backend="serial"
+        ).run(data, seed=6)
+        with shared_block_registry():
+            results = [
+                MultiRestartRunner(
+                    UKMedoids(3), n_init=4, n_jobs=2, backend="processes"
+                ).run(data, seed=6)
+                for _ in range(2)
+            ]
+        # 3 moment matrices + 1 ÊD matrix, created once across both
+        # run-sets (without the scope each run creates its own 4).
+        assert len(created) == 4
+        for result in results:
+            np.testing.assert_array_equal(reference.labels, result.labels)
+            assert reference.objective == result.objective
+
+    def test_registry_blocks_unlinked_on_scope_exit(self, data):
+        backend = ProcessBackend(n_jobs=2)
+        with shared_block_registry():
+            MultiRestartRunner(UKMedoids(3), n_init=4, backend=backend).run(
+                data, seed=6
+            )
+            # Inside the scope the blocks are still alive (reusable).
+            name = backend.last_shared_specs[0][0]
+            shared_memory.SharedMemory(name=name).close()
+        for name, _, _ in backend.last_shared_specs:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_sample_tensors_are_never_interned(self, data, monkeypatch):
+        """Per-cell tensors are fresh draws; interning them would hold
+        every cell's tensor until the scope closes."""
+        created = self._counting_shared_ndarray(monkeypatch)
+        with shared_block_registry():
+            for seed in (2, 3):
+                MultiRestartRunner(
+                    BasicUKMeans(4, n_samples=16),
+                    n_init=4,
+                    n_jobs=2,
+                    backend="processes",
+                ).run(data, seed=seed)
+        # 3 interned moment matrices + one tensor per run-set.
+        assert len(created) == 5
+
+    def test_nested_scopes_rejected(self):
+        with shared_block_registry():
+            with pytest.raises(InvalidParameterError, match="nested"):
+                with shared_block_registry():
+                    pass
 
 
 class TestGetBackend:
@@ -434,6 +603,23 @@ class TestGetBackend:
                 factory(2, batch_size=0)
         with pytest.raises(InvalidParameterError):
             MultiRestartRunner(UKMeans(4), batch_size=0)
+        with pytest.raises(InvalidParameterError):
+            MultiRestartRunner(UKMeans(4), batch_size="soon")
+        with pytest.raises(InvalidParameterError):
+            validate_batch_size(2.5)
+
+    def test_auto_batch_size_accepted_everywhere(self):
+        assert validate_batch_size("auto") == "auto"
+        assert ThreadBackend(2, batch_size="auto").batch_size == "auto"
+        assert ProcessBackend(2, batch_size="auto").batch_size == "auto"
+        assert AutoBackend(2, batch_size="auto").batch_size == "auto"
+        runner = MultiRestartRunner(UKMeans(4), n_jobs=2, batch_size="auto")
+        assert runner.batch_size == "auto"
+        from repro.experiments import ExperimentConfig
+
+        assert ExperimentConfig(batch_size="auto").batch_size == "auto"
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(batch_size="bogus")
 
 
 class TestAutoBackend:

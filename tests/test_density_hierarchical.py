@@ -180,13 +180,20 @@ class TestUAHC:
     def test_vectorized_proximity_preserves_merge_order_bit_exactly(
         self, linkage
     ):
-        """The blocked-broadcast `_full_proximity` and the incremental
-        per-merge Gaussian refresh must reproduce the pre-vectorization
-        per-row implementation *bit for bit* — agglomerative merge
-        order is decided by float comparisons, so even one ulp of drift
-        reorders dendrograms."""
-        from repro.clustering.uahc import _VAR_FLOOR
+        """The vectorized initial proximity structure and the
+        incremental per-merge Gaussian refresh must reproduce the
+        per-row reference implementation *bit for bit* — agglomerative
+        merge order is decided by float comparisons, so even one ulp of
+        drift reorders dendrograms.  For ``linkage="ed"`` the singleton
+        structure is by definition the dataset's pairwise ÊD matrix
+        (the distance-plane artifact), so the reference builds it with
+        the same kernel — and refreshed rows use the model's own
+        variance floor (0 for "ed", matching the unfloored seed); the
+        per-row path still covers every merged-row refresh."""
         from repro.datagen import make_blobs_uncertain
+        from repro.objects.distance import (
+            pairwise_squared_expected_distances,
+        )
 
         data = make_blobs_uncertain(
             n_objects=120, n_clusters=4, n_attributes=5, separation=1.5,
@@ -207,13 +214,16 @@ class TestUAHC:
                 mix_mu = mu_sum * inv[:, None]
                 mix_mu2 = mu2_sum * inv[:, None]
                 return mix_mu, np.maximum(
-                    mix_mu2 - mix_mu**2, _VAR_FLOOR
+                    mix_mu2 - mix_mu**2, model._var_floor
                 )
 
             mu, var = gaussians()
-            prox = np.empty((n, n))
-            for i in range(n):
-                prox[i] = model._row_against(mu, var, i)
+            if linkage == "ed":
+                prox = pairwise_squared_expected_distances(dataset)
+            else:
+                prox = np.empty((n, n))
+                for i in range(n):
+                    prox[i] = model._row_against(mu, var, i)
             np.fill_diagonal(prox, np.inf)
             merges = []
             n_active = n
@@ -252,6 +262,23 @@ class TestUAHC:
             (a, b) for a, b, _ in ref_merges
         ]
         assert [m.height for m in merges] == [h for _, _, h in ref_merges]
+
+    def test_ed_heights_exact_on_point_masses(self):
+        """The "ed" linkage floors variances at 0, so dendrogram heights
+        on deterministic points are *exact*: singleton merges sit at the
+        squared distance, and merged-vs-singleton proximities carry no
+        floor bias (the Jeffreys floor would add ``2 m * 1e-9`` to every
+        refreshed row, silently flipping near-tie merge decisions
+        against merged clusters)."""
+        from repro.objects import UncertainDataset
+
+        data = UncertainDataset.from_points([[0.0], [1.0], [10.0], [30.0]])
+        result = UAHC(n_clusters=1, linkage="ed").fit(data)
+        heights = [m.height for m in result.extras["merges"]]
+        # ÊD(0, 1) = (0-1)^2 exactly — no variance floor on singletons.
+        assert heights[0] == 1.0
+        # {0,1} vs 10: mixture var 0.25 + (10 - 0.5)^2, again exact.
+        assert heights[1] == 0.25 + 9.5**2
 
     def test_k_equals_n_is_identity(self, mixed_dataset):
         result = UAHC(n_clusters=len(mixed_dataset)).fit(mixed_dataset)

@@ -38,10 +38,12 @@ def _make_data(seed=13):
 def ed_spy(monkeypatch):
     """Counts pairwise_squared_expected_distances calls, behavior intact.
 
-    Patches both lookup sites: the defining module (late-bound import in
-    ``UncertainDataset.pairwise_ed``) and UK-medoids' module global (the
-    in-fit fallback the plane exists to avoid).
+    Patches every lookup site: the defining module (late-bound import in
+    ``UncertainDataset.pairwise_ed``) plus the module globals of the two
+    plane consumers — UK-medoids and UAHC — whose in-fit fallbacks the
+    plane exists to avoid.
     """
+    import repro.clustering.uahc as uahc_module
     import repro.clustering.ukmedoids as ukmedoids_module
     import repro.objects.distance as distance_module
 
@@ -52,12 +54,10 @@ def ed_spy(monkeypatch):
         calls["count"] += 1
         return original(dataset)
 
-    monkeypatch.setattr(
-        distance_module, "pairwise_squared_expected_distances", counting
-    )
-    monkeypatch.setattr(
-        ukmedoids_module, "pairwise_squared_expected_distances", counting
-    )
+    for module in (distance_module, ukmedoids_module, uahc_module):
+        monkeypatch.setattr(
+            module, "pairwise_squared_expected_distances", counting
+        )
     return calls
 
 
@@ -251,6 +251,83 @@ class TestBitIdentity:
         # Sanity: the foreign matrix really changes the outcome.
         native = MultiRestartRunner(UKMedoids(3), n_init=4).run(data, seed=6)
         assert native.objective != serial.objective
+
+
+class TestUAHCPlane:
+    """UAHC joins the distance plane for its ``"ed"`` linkage: the
+    initial singleton proximity structure *is* the ÊD matrix, so the
+    engine seeds it from the shared cache — one build per dataset,
+    bit-identical to the in-fit build."""
+
+    def test_ed_linkage_declares_plane(self):
+        from repro.clustering import UAHC
+
+        assert UAHC(3, linkage="ed").wants_pairwise_ed is True
+        assert UAHC(3, linkage="jeffreys").wants_pairwise_ed is False
+
+    def test_engine_builds_matrix_exactly_once(self, ed_spy):
+        from repro.clustering import UAHC
+
+        data = _make_data()
+        fit_runs(UAHC(3, linkage="ed"), data, [0, 1, 2])
+        assert ed_spy["count"] == 1
+
+    def test_jeffreys_linkage_never_builds_matrix(self, ed_spy):
+        from repro.clustering import UAHC
+
+        data = _make_data()
+        fit_runs(UAHC(3, linkage="jeffreys"), data, [0, 1])
+        assert ed_spy["count"] == 0
+
+    def test_mixed_roster_shares_one_dataset_build(self, ed_spy):
+        """UK-medoids and UAHC run-sets on one dataset read the same
+        cached matrix — the off-line phase is per dataset, not per
+        algorithm."""
+        from repro.clustering import UAHC
+
+        data = _make_data()
+        fit_runs(UKMedoids(3), data, [0, 1])
+        fit_runs(UAHC(3, linkage="ed"), data, [0, 1])
+        assert ed_spy["count"] == 1
+
+    def test_seeded_merge_structure_bit_identical_to_fallback(self):
+        """With and without the injected cache: same labels, same merge
+        pairs, same merge heights — the plane must be invisible."""
+        from repro.clustering import UAHC
+
+        data = _make_data()
+        direct = UAHC(3, linkage="ed").fit(data)
+        seeded_model = UAHC(3, linkage="ed")
+        seeded_model.pairwise_ed_cache = data.pairwise_ed()
+        seeded = seeded_model.fit(data)
+        routed = fit_runs(UAHC(3, linkage="ed"), data, [0])[0]
+        for other in (seeded, routed):
+            np.testing.assert_array_equal(direct.labels, other.labels)
+            assert [
+                (m.left, m.right, m.height)
+                for m in direct.extras["merges"]
+            ] == [
+                (m.left, m.right, m.height)
+                for m in other.extras["merges"]
+            ]
+
+    def test_cache_shape_validated(self):
+        from repro.clustering import UAHC
+
+        data = _make_data()
+        model = UAHC(3, linkage="ed")
+        model.pairwise_ed_cache = np.zeros((4, 4))
+        with pytest.raises(InvalidParameterError, match="must be \\(60, 60\\)"):
+            model.fit(data)
+
+    def test_pin_restored_after_engine_run(self):
+        from repro.clustering import UAHC
+        from repro.engine import MultiRestartRunner
+
+        data = _make_data()
+        model = UAHC(3, linkage="ed")
+        MultiRestartRunner(model, n_init=1).run_all(data, seeds=[0])
+        assert model.pairwise_ed_cache is None
 
 
 class TestValidation:
