@@ -28,7 +28,12 @@ Pins the claims the engine layer makes:
   datasets x 3 algorithms x 2 cluster counts at paper-shaped scale)
   >= 2x faster than the same cells executed as isolated per-cell runs
   (each regenerating its dataset and rebuilding the
-  moment/plan/``ÊD`` caches) — with bit-identical cell values.
+  moment/plan/``ÊD`` caches) — with bit-identical cell values;
+* report-shaped aggregation (metric summary + best-of-group +
+  rank-over-grid) over a ~10k-cell synthetic result store is >= 5x
+  faster on the SQLite columnar backend (indexed SQL: GROUP BY +
+  window functions) than on the JSON directory backend's full-scan
+  reference reads — with identical result rows.
 """
 
 from __future__ import annotations
@@ -466,6 +471,54 @@ def test_sweep_orchestrator_speedup_floor():
     assert speedup >= 2.0, (
         f"sweep orchestrator speedup {speedup:.1f}x below the 2x floor "
         f"(orchestrated {orchestrated:.2f} s, isolated {isolated:.2f} s)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Result-store aggregation: SQLite columnar backend vs JSON full scan.
+# ----------------------------------------------------------------------
+STORE_CELLS = 10000
+
+
+def test_store_aggregation_speedup_floor(tmp_path):
+    """Acceptance pin: report aggregation over a ~10k-cell store runs
+    >= 5x faster on the SQLite backend (one indexed SQL pass over the
+    exploded ``cell_values`` plane) than on the JSON backend, which
+    must open and parse every cell file — with identical result rows,
+    since both run the same store-API contract."""
+    from run_bench import aggregate_store, populate_synthetic_store
+
+    from repro.engine.store import open_store
+
+    json_store = open_store(tmp_path / "store")
+    sqlite_store = open_store(tmp_path / "store.sqlite")
+    try:
+        populate_synthetic_store(json_store, STORE_CELLS)
+        populate_synthetic_store(sqlite_store, STORE_CELLS)
+
+        # Warm both substrates and pin conformance at scale: the exact
+        # aggregates (best-of-group, rank-over-grid, summary counts and
+        # extrema) must agree row-for-row; the mean is only
+        # approximately comparable (SQL AVG sums in a different order).
+        json_agg = aggregate_store(json_store)
+        sqlite_agg = aggregate_store(sqlite_store)
+        assert json_agg[1] == sqlite_agg[1]
+        assert json_agg[2] == sqlite_agg[2]
+        assert [row[:5] for row in json_agg[0]] == [
+            row[:5] for row in sqlite_agg[0]
+        ]
+
+        json_time = _best_of(lambda: aggregate_store(json_store), repeats=2)
+        sqlite_time = _best_of(
+            lambda: aggregate_store(sqlite_store), repeats=2
+        )
+    finally:
+        json_store.close()
+        sqlite_store.close()
+    speedup = json_time / sqlite_time
+    assert speedup >= 5.0, (
+        f"store aggregation speedup {speedup:.1f}x below the 5x floor "
+        f"(sqlite {sqlite_time * 1e3:.0f} ms, json {json_time * 1e3:.0f} ms)"
     )
 
 

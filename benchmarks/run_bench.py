@@ -20,7 +20,10 @@ The measurement roster mirrors ``benchmarks/bench_engine.py``:
   same moment-based restart workload;
 * paper-scale UK-medoids multi-restarts on the shared pairwise-distance
   plane vs the per-restart ÊD recompute it replaced;
-* UAHC's vectorized proximity agglomeration.
+* UAHC's vectorized proximity agglomeration;
+* report-shaped aggregation (metric summary + best-of-group +
+  rank-over-grid) over a ~10k-cell synthetic result store, on the JSON
+  directory backend vs the SQLite columnar backend.
 
 Timings are best-of-``repeats`` wall clock; the JSON also records the
 machine shape (cores, python, numpy) so numbers are comparable only
@@ -34,6 +37,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 import warnings
 from pathlib import Path
@@ -49,12 +53,13 @@ import numpy as np
 from repro.clustering import FDBSCAN, UAHC, UKMeans, BasicUKMeans, UKMedoids
 from repro.datagen import make_blobs_uncertain
 from repro.engine import MultiRestartRunner
+from repro.engine.store import SWEEP_SCHEMA_VERSION, ResultStore, open_store
 from repro.exceptions import ConvergenceWarning
 from repro.objects import UncertainDataset, UncertainObject
 from repro.utils.rng import ensure_rng
 
 #: Bumped whenever a measurement's name or meaning changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The fixed measurement roster.  ``run_benchmarks`` must emit exactly
 #: these names; the overwrite guard in :func:`main` compares an existing
@@ -72,6 +77,8 @@ MEASUREMENT_NAMES = (
     "ukmedoids_plane_shared",
     "ukmedoids_plane_recompute",
     "uahc_jeffreys_fit",
+    "store_aggregate_sqlite",
+    "store_aggregate_json",
 )
 
 
@@ -137,6 +144,57 @@ def _per_object_loop(dataset, n_samples, seed):
     for idx, obj in enumerate(dataset):
         out[idx] = obj.sample(n_samples, rng)
     return out
+
+
+def populate_synthetic_store(
+    store: ResultStore, n_cells: int, seed: int = 29
+) -> None:
+    """Fill ``store`` with a sweep-shaped synthetic grid of ``n_cells``.
+
+    Groups of 50 cells (10 datasets-worth of algorithm x k cells each)
+    with a few numeric metrics per cell — the shape the report
+    aggregation walks, at a scale where substrate cost dominates.
+    """
+    rng = np.random.default_rng(seed)
+    store.prepare(
+        {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "surfaces": {"synthetic": {"cells": n_cells}},
+        },
+        resume=False,
+    )
+    written = 0
+    group_idx = 0
+    while written < n_cells:
+        group = (f"dataset{group_idx:04d}",)
+        for pos in range(min(50, n_cells - written)):
+            store.write_cell(
+                "synthetic",
+                group,
+                (f"alg{pos % 5}", f"k{10 + pos // 5}"),
+                seed_state=f"{written:040x}",
+                values={
+                    "quality": float(rng.random()),
+                    "runtime_ms": float(rng.uniform(1.0, 1e3)),
+                    "iterations": int(rng.integers(1, 40)),
+                },
+            )
+            written += 1
+        group_idx += 1
+
+
+def aggregate_store(store: ResultStore):
+    """The report-shaped aggregation workload over one store.
+
+    One full metric summary plus best-of-group and rank-over-grid on
+    the headline metric — Python reference reads on the JSON backend,
+    indexed SQL (GROUP BY + window functions) on SQLite.
+    """
+    return (
+        store.metric_summary(),
+        store.best_cells("quality", mode="max"),
+        store.rank_over_grid("quality", mode="max"),
+    )
 
 
 def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
@@ -282,6 +340,31 @@ def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
         n_init=medoid_restarts,
         k=medoid_k,
     )
+
+    # --- result-store aggregation ------------------------------------
+    store_cells = int(10000 * scale)
+    with tempfile.TemporaryDirectory() as tmp:
+        json_store = open_store(Path(tmp) / "store")
+        sqlite_store = open_store(Path(tmp) / "store.sqlite")
+        try:
+            populate_synthetic_store(json_store, store_cells)
+            populate_synthetic_store(sqlite_store, store_cells)
+            aggregate_store(json_store)  # warm page/inode caches
+            aggregate_store(sqlite_store)
+            agg_json = _best_of(lambda: aggregate_store(json_store), repeats)
+            agg_sqlite = _best_of(
+                lambda: aggregate_store(sqlite_store), repeats
+            )
+        finally:
+            json_store.close()
+            sqlite_store.close()
+    record(
+        "store_aggregate_sqlite",
+        agg_sqlite,
+        cells=store_cells,
+        speedup=agg_json / agg_sqlite,
+    )
+    record("store_aggregate_json", agg_json, cells=store_cells)
 
     # --- hierarchical ------------------------------------------------
     n_uahc = int(300 * scale)

@@ -221,12 +221,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     grid = _sweep_grid(args)
     try:
         outcome = run_sweep(
-            grid, args.store, resume=args.resume, progress=print
+            grid,
+            args.store,
+            resume=args.resume,
+            progress=print,
+            store_backend=args.store_backend,
         )
     except SweepStoreError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(f"sweep complete: {outcome.summary()} (store: {outcome.store_root})")
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from repro.engine.store import migrate_store
+    from repro.exceptions import SweepStoreError
+
+    try:
+        report = migrate_store(
+            args.src,
+            args.dst,
+            source_backend=args.src_backend,
+            destination_backend=args.dst_backend,
+            progress=print if args.verbose else None,
+        )
+    except SweepStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
+def _cmd_store_summary(args: argparse.Namespace) -> int:
+    from repro.engine.store import open_store
+    from repro.exceptions import SweepStoreError
+    from repro.utils.tables import format_table
+
+    store = open_store(args.path, backend=args.backend)
+    try:
+        manifest = store.read_manifest()
+        if manifest is None:
+            print(f"error: {args.path} has no sweep manifest", file=sys.stderr)
+            return 2
+        summary = store.metric_summary()
+        print(
+            format_table(
+                [list(row) for row in summary],
+                headers=["surface", "metric", "cells", "min", "max", "mean"],
+                title=f"{store.backend} store {store.path}",
+            )
+        )
+        if args.metric:
+            mode = args.mode
+            best = store.best_cells(args.metric, mode=mode)
+            print()
+            print(
+                format_table(
+                    [
+                        [surface, "/".join(group), name, value]
+                        for surface, group, name, value in best
+                    ],
+                    headers=["surface", "group", "best cell", args.metric],
+                    title=f"best ({mode}) per group — {args.metric}",
+                )
+            )
+            ranked = store.rank_over_grid(args.metric, mode=mode)
+            print()
+            print(
+                format_table(
+                    [list(row) for row in ranked[: args.top]],
+                    headers=["rank", "cell", "surface", args.metric],
+                    title=f"rank over grid — {args.metric} (top {args.top})",
+                )
+            )
+    except SweepStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
     return 0
 
 
@@ -248,6 +321,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             figure5_base_size=args.base_size,
             store=args.store,
             resume=args.resume,
+            store_backend=args.store_backend,
         )
     except SweepStoreError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -367,7 +441,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--store",
         required=True,
-        help="result-store directory (manifest + one JSON file per cell)",
+        help="result-store path: a directory (JSON backend) or a "
+        ".sqlite file (SQLite backend)",
+    )
+    ps.add_argument(
+        "--store-backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force a store backend (default: resolve from the path — "
+        "a .sqlite/.db suffix or existing file means sqlite, anything "
+        "else the JSON directory layout)",
     )
     ps.add_argument(
         "--resume",
@@ -397,7 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         help="route the four suites through the sweep orchestrator, "
-        "persisting every cell in this resumable result store",
+        "persisting every cell in this resumable result store "
+        "(directory = JSON backend, .sqlite file = SQLite backend)",
+    )
+    pr.add_argument(
+        "--store-backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force a store backend (default: resolve from the path)",
     )
     pr.add_argument(
         "--resume",
@@ -405,6 +495,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store: reuse completed cells from an earlier run",
     )
     pr.set_defaults(func=_cmd_report)
+
+    pst = sub.add_parser(
+        "store", help="result-store utilities (migrate, summary)"
+    )
+    store_sub = pst.add_subparsers(dest="store_command", required=True)
+
+    pm = store_sub.add_parser(
+        "migrate",
+        help="copy a store between backends (JSON <-> SQLite), "
+        "verifying cell-for-cell payload equality",
+    )
+    pm.add_argument("src", help="source store path")
+    pm.add_argument("dst", help="destination store path (must be fresh)")
+    pm.add_argument(
+        "--src-backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force the source backend (default: resolve from the path)",
+    )
+    pm.add_argument(
+        "--dst-backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force the destination backend (default: resolve from the path)",
+    )
+    pm.add_argument(
+        "--verbose", action="store_true", help="print one line per cell"
+    )
+    pm.set_defaults(func=_cmd_store_migrate)
+
+    pq = store_sub.add_parser(
+        "summary",
+        help="aggregate a result store (SQL-side on the SQLite backend)",
+    )
+    pq.add_argument("path", help="store path")
+    pq.add_argument(
+        "--backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force the store backend (default: resolve from the path)",
+    )
+    pq.add_argument(
+        "--metric",
+        default=None,
+        help="also print best-of-group and rank-over-grid for this metric",
+    )
+    pq.add_argument(
+        "--mode",
+        choices=["max", "min"],
+        default="max",
+        help="whether larger or smaller metric values rank first",
+    )
+    pq.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows of the rank table to print",
+    )
+    pq.set_defaults(func=_cmd_store_summary)
 
     pd = sub.add_parser("demo", help="one-minute algorithm comparison")
     pd.add_argument("--seed", type=int, default=0)

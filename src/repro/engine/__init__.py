@@ -9,7 +9,10 @@ NumPy kernels, zero serialization), process pool (moment matrices,
 sample tensor and ÊD matrix published once via shared memory) or auto
 (per-algorithm-family dispatch), all bit-identical for fixed seeds,
 with optional engine-level early stopping across restarts and
-in-worker restart batching.
+in-worker restart batching.  Sweep results persist through the
+pluggable result-store layer (:mod:`repro.engine.store`): a JSON
+directory or a single-file SQLite database with SQL-side aggregation,
+migratable in either direction.
 """
 
 from repro.engine.backends import (
@@ -31,21 +34,35 @@ from repro.engine.distances import (
     resolve_pairwise_ed,
 )
 from repro.engine.runner import MultiRestartRunner, RestartRecord, fit_runs
+from repro.engine.store import (
+    STORE_BACKENDS,
+    JsonStore,
+    ResultStore,
+    SqliteStore,
+    migrate_store,
+    open_store,
+)
 
 __all__ = [
     "AutoBackend",
     "BACKEND_NAMES",
     "EarlyStopping",
     "ExecutionBackend",
+    "JsonStore",
     "MultiRestartRunner",
     "ProcessBackend",
     "RestartRecord",
+    "ResultStore",
+    "STORE_BACKENDS",
     "SerialBackend",
     "SharedBlockRegistry",
+    "SqliteStore",
     "ThreadBackend",
     "fit_runs",
     "get_backend",
+    "migrate_store",
     "needs_pairwise_ed",
+    "open_store",
     "pinned_pairwise_ed",
     "resolve_pairwise_ed",
     "shared_block_registry",

@@ -1,0 +1,106 @@
+"""Directory-backed result store: a manifest plus one file per cell.
+
+The original sweep store layout, unchanged::
+
+    <store>/
+      manifest.json           # schema + full grid description
+      cells/
+        <cell_id>.json
+
+Every write is atomic *and durable* (write, fsync, rename, directory
+fsync — :func:`repro.engine.store.base.atomic_write`), so a killed run
+can only ever leave a stray ``*.tmp`` behind and a power loss cannot
+leave a truncated file under a final name.  Human-inspectable and
+rsync-able; for large grids and SQL-side aggregation, prefer
+:class:`~repro.engine.store.sqlite_store.SqliteStore`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.engine.store.base import (
+    ResultStore,
+    atomic_write,
+    canonical_dumps,
+    cell_id,
+    validate_payload,
+)
+from repro.exceptions import SweepStoreError
+
+
+class JsonStore(ResultStore):
+    """One JSON file per cell under a manifest-pinned directory."""
+
+    backend = "json"
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root: Union[str, Path]):
+        super().__init__(root)
+        self.cells_dir = self.path / "cells"
+
+    # -- lifecycle -----------------------------------------------------
+    def prepare(self, description: Dict[str, object], resume: bool) -> None:
+        manifest = self.path / self.MANIFEST
+        if manifest.exists():
+            existing = self.read_manifest()
+            self._verify_reusable(existing, description, resume)
+        else:
+            if self.path.exists() and any(self.path.iterdir()):
+                raise SweepStoreError(
+                    f"{self.path} exists, is not empty and has no sweep "
+                    "manifest; refusing to write into it"
+                )
+            self.path.mkdir(parents=True, exist_ok=True)
+            atomic_write(manifest, canonical_dumps(description))
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest ------------------------------------------------------
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        manifest = self.path / self.MANIFEST
+        if not manifest.exists():
+            return None
+        try:
+            return json.loads(manifest.read_text())
+        except (json.JSONDecodeError, OSError) as error:
+            raise SweepStoreError(
+                f"unreadable sweep manifest {manifest}: {error}"
+            ) from error
+
+    # -- cells ---------------------------------------------------------
+    def cell_path(self, cell: str) -> Path:
+        return self.cells_dir / f"{cell}.json"
+
+    def has_cells(self) -> bool:
+        return self.cells_dir.is_dir() and any(self.cells_dir.glob("*.json"))
+
+    def load_cell(
+        self, cell: str
+    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        path = self.cell_path(cell)
+        if not path.exists():
+            return None, None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None, "unreadable"
+        problem = validate_payload(payload)
+        if problem is not None:
+            return None, problem
+        return payload, None
+
+    def write_payload(self, payload: Dict[str, object]) -> str:
+        name = cell_id(payload["surface"], payload["group"], payload["cell"])
+        atomic_write(self.cell_path(name), canonical_dumps(payload))
+        return name
+
+    def iter_cells(
+        self,
+    ) -> Iterator[Tuple[str, Optional[Dict[str, object]], Optional[str]]]:
+        if not self.cells_dir.is_dir():
+            return
+        for path in sorted(self.cells_dir.glob("*.json")):
+            payload, problem = self.load_cell(path.stem)
+            yield path.stem, payload, problem

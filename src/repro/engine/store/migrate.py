@@ -1,0 +1,144 @@
+"""JSON ↔ SQLite store migration with cell-for-cell verification.
+
+A migration copies the manifest and every cell payload from one store
+to another — in either direction, or even between two stores of the
+same backend — and then *verifies* the copy: every source cell must
+load from the destination with an equal payload, and the destination
+must hold exactly the source's cells.  Because both backends persist
+the canonical JSON text of each payload, a JSON → SQLite → JSON round
+trip reproduces the original directory byte-for-byte.
+
+The destination must be fresh (no results); a source with damaged
+cells is refused — migrating would either drop the damaged cells
+silently or copy garbage, and the right fix is to re-run them first
+(``repro sweep --resume``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.engine.store.base import ResultStore, cell_id
+from repro.exceptions import SweepStoreError
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass
+class MigrationReport:
+    """What one :func:`migrate_store` call copied and verified."""
+
+    source: Path
+    source_backend: str
+    destination: Path
+    destination_backend: str
+    cells: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"migrated {len(self.cells)} cells: "
+            f"{self.source} ({self.source_backend}) -> "
+            f"{self.destination} ({self.destination_backend}); "
+            "verified cell-for-cell"
+        )
+
+
+def migrate_store(
+    source: Union[str, Path, ResultStore],
+    destination: Union[str, Path, ResultStore],
+    source_backend: Optional[str] = None,
+    destination_backend: Optional[str] = None,
+    progress: Progress = None,
+) -> MigrationReport:
+    """Copy a result store to a fresh destination and verify the copy.
+
+    Backends are resolved from the paths (directory vs ``.sqlite``)
+    unless given explicitly.  Raises
+    :class:`~repro.exceptions.SweepStoreError` when the source has no
+    manifest or damaged cells, when the destination already holds
+    results, or when post-copy verification finds any divergence.
+    """
+    from repro.engine.store import open_store
+
+    log = progress or (lambda _msg: None)
+    src = open_store(source, backend=source_backend)
+    dst = open_store(destination, backend=destination_backend)
+    if src.path.resolve() == dst.path.resolve():
+        raise SweepStoreError(
+            f"source and destination are the same store: {src.path}"
+        )
+    manifest = src.read_manifest()
+    if manifest is None:
+        raise SweepStoreError(
+            f"{src.path} has no sweep manifest; nothing to migrate"
+        )
+    try:
+        payloads, damaged = _collect(src)
+        if damaged:
+            listing = ", ".join(f"{name} ({why})" for name, why in damaged)
+            raise SweepStoreError(
+                f"refusing to migrate {src.path}: damaged cells would be "
+                f"lost or copied as garbage — {listing}; re-run them first "
+                "(repro sweep --resume)"
+            )
+        dst.prepare(manifest, resume=False)
+        report = MigrationReport(
+            source=src.path,
+            source_backend=src.backend,
+            destination=dst.path,
+            destination_backend=dst.backend,
+        )
+        for name, payload in payloads:
+            written = dst.write_payload(payload)
+            if written != name:
+                raise SweepStoreError(
+                    f"cell id drift while migrating {src.path}: source "
+                    f"holds {name!r} but its payload derives {written!r}"
+                )
+            report.cells.append(name)
+            log(f"copied {name}")
+        _verify(src, dst, payloads)
+        log(report.summary())
+        return report
+    finally:
+        src.close()
+        dst.close()
+
+
+def _collect(src: ResultStore):
+    payloads: List[Tuple[str, dict]] = []
+    damaged: List[Tuple[str, str]] = []
+    for name, payload, problem in src.iter_cells():
+        if problem is not None or payload is None:
+            damaged.append((name, problem or "missing"))
+            continue
+        derived = cell_id(payload["surface"], payload["group"], payload["cell"])
+        if derived != name:
+            damaged.append((name, f"stored under foreign id (is {derived})"))
+            continue
+        payloads.append((name, payload))
+    return payloads, damaged
+
+
+def _verify(src: ResultStore, dst: ResultStore, payloads) -> None:
+    """Cell-for-cell payload equality after the copy, both directions."""
+    mismatched: List[str] = []
+    for name, payload in payloads:
+        copied, problem = dst.load_cell(name)
+        if problem is not None or copied != payload:
+            mismatched.append(name)
+    if mismatched:
+        raise SweepStoreError(
+            f"migration verification failed for {dst.path}: payload "
+            f"mismatch in cells {', '.join(sorted(mismatched))}"
+        )
+    extra = {name for name, _p, _w in dst.iter_cells()} - {
+        name for name, _payload in payloads
+    }
+    if extra:
+        raise SweepStoreError(
+            f"migration verification failed for {dst.path}: destination "
+            f"holds cells the source does not ({', '.join(sorted(extra))})"
+        )

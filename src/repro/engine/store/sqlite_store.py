@@ -1,0 +1,412 @@
+"""SQLite-backed result store: one file, WAL mode, SQL aggregation.
+
+Layout (one database file)::
+
+    meta(key, value)                       -- manifest + schema version
+    cells(cell_id PRIMARY KEY, surface, group_json, cell_json,
+          seed_state, status, payload)     -- payload = canonical JSON
+    cell_values(cell_id, metric, value)    -- exploded numeric plane
+
+The ``payload`` column stores the *exact canonical JSON text* a
+:class:`~repro.engine.store.json_store.JsonStore` would write to the
+cell's file, so migration between backends round-trips byte-for-byte
+and reports generated from either store are identical.  ``cell_values``
+is the columnar projection of every numeric value, indexed by
+``(metric, value)`` and joined against the ``(surface, group_json,
+cell_json)`` index on ``cells`` — the query/aggregation layer
+(`metric_summary`, `best_cells`, `rank_over_grid`, group bulk loads)
+runs as indexed SQL with window functions instead of a Python loop
+over one file per cell.
+
+Concurrency & durability: the database runs in WAL journal mode, so
+concurrent writers (the planned distributed sweep) coordinate through
+SQLite's locking instead of the filesystem, and readers never block a
+writer.  ``synchronous=NORMAL`` under WAL means a power loss can drop
+the last commits but can never corrupt the database — a lost cell is
+simply re-run on resume, exactly like a cell that never got written.
+Each cell write is one transaction, so a killed run can never leave a
+half-written cell marked ``done``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.store.base import (
+    SWEEP_SCHEMA_VERSION,
+    ResultStore,
+    ValueRow,
+    _check_mode,
+    _numeric_items,
+    canonical_dumps,
+    cell_id,
+    validate_payload,
+)
+from repro.exceptions import SweepStoreError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    cell_id TEXT PRIMARY KEY,
+    surface TEXT NOT NULL,
+    group_json TEXT NOT NULL,
+    cell_json TEXT NOT NULL,
+    seed_state TEXT NOT NULL,
+    status TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cells_grid
+    ON cells (surface, group_json, cell_json);
+CREATE TABLE IF NOT EXISTS cell_values (
+    cell_id TEXT NOT NULL,
+    metric TEXT NOT NULL,
+    value REAL NOT NULL,
+    PRIMARY KEY (cell_id, metric)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_values_metric
+    ON cell_values (metric, value);
+"""
+
+
+def _is_missing_table(error: sqlite3.OperationalError) -> bool:
+    return "no such table" in str(error)
+
+
+class SqliteStore(ResultStore):
+    """Single-file columnar result store (SQLite, WAL mode)."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: Union[str, Path]):
+        super().__init__(path)
+        self._conn: Optional[sqlite3.Connection] = None
+
+    # -- connection ----------------------------------------------------
+    def _connect(self, create: bool = False) -> sqlite3.Connection:
+        if self._conn is not None:
+            return self._conn
+        if not create and not self.path.exists():
+            raise SweepStoreError(f"no sqlite result store at {self.path}")
+        if create:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path))
+        try:
+            # journal_mode reads the header, so a non-database file is
+            # rejected here instead of deep inside a later query.
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.DatabaseError as error:
+            conn.close()
+            raise SweepStoreError(
+                f"unreadable sqlite store {self.path}: {error}"
+            ) from error
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _execute(self, sql: str, params: Sequence[object] = ()):
+        """Run one query, mapping substrate corruption to SweepStoreError."""
+        conn = self._connect()
+        try:
+            return conn.execute(sql, params)
+        except sqlite3.OperationalError:
+            raise
+        except sqlite3.DatabaseError as error:
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+
+    # -- lifecycle -----------------------------------------------------
+    def prepare(self, description: Dict[str, object], resume: bool) -> None:
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        conn = self._connect(create=True)
+        if fresh:
+            with conn:
+                conn.executescript(_SCHEMA)
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("manifest", canonical_dumps(description)),
+                )
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema", str(SWEEP_SCHEMA_VERSION)),
+                )
+            return
+        existing = self.read_manifest()
+        if existing is None:
+            raise SweepStoreError(
+                f"{self.path} exists, is not empty and has no sweep "
+                "manifest; refusing to write into it"
+            )
+        self._verify_reusable(existing, description, resume)
+
+    # -- manifest ------------------------------------------------------
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            row = self._execute(
+                "SELECT value FROM meta WHERE key = 'manifest'"
+            ).fetchone()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return None
+            raise SweepStoreError(
+                f"unreadable sweep manifest in {self.path}: {error}"
+            ) from error
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError as error:
+            raise SweepStoreError(
+                f"unreadable sweep manifest in {self.path}: {error}"
+            ) from error
+
+    # -- cells ---------------------------------------------------------
+    def has_cells(self) -> bool:
+        try:
+            row = self._execute("SELECT 1 FROM cells LIMIT 1").fetchone()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return False
+            raise
+        return row is not None
+
+    @staticmethod
+    def _decode(
+        payload_text: str,
+    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        try:
+            payload = json.loads(payload_text)
+        except json.JSONDecodeError:
+            return None, "unreadable"
+        problem = validate_payload(payload)
+        if problem is not None:
+            return None, problem
+        return payload, None
+
+    def load_cell(
+        self, cell: str
+    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+        try:
+            row = self._execute(
+                "SELECT payload FROM cells WHERE cell_id = ?", (cell,)
+            ).fetchone()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return None, None
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+        if row is None:
+            return None, None
+        return self._decode(row[0])
+
+    def write_payload(self, payload: Dict[str, object]) -> str:
+        name = cell_id(payload["surface"], payload["group"], payload["cell"])
+        value_rows = [
+            (name, metric, value)
+            for metric, value in _numeric_items(payload["values"])
+        ]
+        conn = self._connect()
+        with conn:  # one transaction: the cell is either whole or absent
+            conn.execute(
+                "INSERT OR REPLACE INTO cells "
+                "(cell_id, surface, group_json, cell_json, seed_state, "
+                " status, payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    name,
+                    payload["surface"],
+                    json.dumps(payload["group"]),
+                    json.dumps(payload["cell"]),
+                    payload["seed_state"],
+                    payload["status"],
+                    canonical_dumps(payload),
+                ),
+            )
+            conn.execute("DELETE FROM cell_values WHERE cell_id = ?", (name,))
+            conn.executemany(
+                "INSERT INTO cell_values (cell_id, metric, value) "
+                "VALUES (?, ?, ?)",
+                value_rows,
+            )
+        return name
+
+    def iter_cells(
+        self,
+    ) -> Iterator[Tuple[str, Optional[Dict[str, object]], Optional[str]]]:
+        try:
+            rows = self._execute(
+                "SELECT cell_id, payload FROM cells ORDER BY cell_id"
+            ).fetchall()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+        for name, payload_text in rows:
+            payload, problem = self._decode(payload_text)
+            yield name, payload, problem
+
+    def count_cells(self) -> int:
+        try:
+            return self._execute("SELECT COUNT(*) FROM cells").fetchone()[0]
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return 0
+            raise
+
+    # -- SQL-side bulk load & aggregation ------------------------------
+    def load_group(
+        self, names: Sequence[str]
+    ) -> Optional[Dict[str, Dict[str, object]]]:
+        """One indexed query for a whole group instead of N point reads."""
+        names = list(names)
+        if not names:
+            return {}
+        placeholders = ", ".join("?" for _ in names)
+        try:
+            rows = self._execute(
+                "SELECT cell_id, payload FROM cells "
+                f"WHERE cell_id IN ({placeholders})",
+                names,
+            ).fetchall()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return None
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+        found = dict(rows)
+        values: Dict[str, Dict[str, object]] = {}
+        for name in names:
+            payload_text = found.get(name)
+            if payload_text is None:
+                return None
+            payload, problem = self._decode(payload_text)
+            if payload is None or problem is not None:
+                return None
+            values[name] = payload["values"]
+        return values
+
+    def _value_join(
+        self,
+        select: str,
+        surface: Optional[str] = None,
+        metric: Optional[str] = None,
+        tail: str = "",
+    ):
+        clauses, params = [], []
+        if surface is not None:
+            clauses.append("c.surface = ?")
+            params.append(surface)
+        if metric is not None:
+            clauses.append("v.metric = ?")
+            params.append(metric)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        sql = (
+            f"SELECT {select} FROM cells c "
+            "JOIN cell_values v ON v.cell_id = c.cell_id"
+            f"{where}{tail}"
+        )
+        try:
+            return self._execute(sql, params).fetchall()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return []
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+
+    def query(
+        self,
+        surface: Optional[str] = None,
+        metric: Optional[str] = None,
+    ) -> List[ValueRow]:
+        rows = self._value_join(
+            "c.cell_id, c.surface, c.group_json, c.cell_json, "
+            "v.metric, v.value",
+            surface=surface,
+            metric=metric,
+            tail=" ORDER BY c.cell_id, v.metric",
+        )
+        return [
+            (
+                name,
+                row_surface,
+                tuple(json.loads(group_json)),
+                tuple(json.loads(cell_json)),
+                found,
+                float(value),
+            )
+            for name, row_surface, group_json, cell_json, found, value in rows
+        ]
+
+    def metric_summary(
+        self, surface: Optional[str] = None
+    ) -> List[Tuple[str, str, int, float, float, float]]:
+        rows = self._value_join(
+            "c.surface, v.metric, COUNT(*), MIN(v.value), MAX(v.value), "
+            "AVG(v.value)",
+            surface=surface,
+            tail=" GROUP BY c.surface, v.metric"
+            " ORDER BY c.surface, v.metric",
+        )
+        return [
+            (s, m, int(count), float(lo), float(hi), float(mean))
+            for s, m, count, lo, hi, mean in rows
+        ]
+
+    def best_cells(
+        self, metric: str, mode: str = "max"
+    ) -> List[Tuple[str, Tuple[str, ...], str, float]]:
+        _check_mode(mode)
+        direction = "DESC" if mode == "max" else "ASC"
+        try:
+            rows = self._execute(
+                "SELECT surface, group_json, cell_id, value FROM ("
+                "  SELECT c.surface, c.group_json, c.cell_id, v.value,"
+                "         ROW_NUMBER() OVER ("
+                "             PARTITION BY c.surface, c.group_json"
+                f"            ORDER BY v.value {direction}, c.cell_id ASC"
+                "         ) AS pos"
+                "  FROM cells c JOIN cell_values v ON v.cell_id = c.cell_id"
+                "  WHERE v.metric = ?"
+                ") WHERE pos = 1",
+                (metric,),
+            ).fetchall()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return []
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+        return sorted(
+            (surface, tuple(json.loads(group_json)), name, float(value))
+            for surface, group_json, name, value in rows
+        )
+
+    def rank_over_grid(
+        self, metric: str, mode: str = "max"
+    ) -> List[Tuple[int, str, str, float]]:
+        _check_mode(mode)
+        direction = "DESC" if mode == "max" else "ASC"
+        rows = self._value_join(
+            f"RANK() OVER (ORDER BY v.value {direction}), "
+            "c.cell_id, c.surface, v.value",
+            metric=metric,
+        )
+        return sorted(
+            (int(rank), name, surface, float(value))
+            for rank, name, surface, value in rows
+        )

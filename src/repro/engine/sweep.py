@@ -33,39 +33,40 @@ an uninterrupted run would have produced — the resumed store is
 byte-identical to an uninterrupted one for the deterministic surfaces
 (Tables 2-3; the Figure cells store measured wall-clock runtimes).
 
-Store layout
-------------
-::
-
-    <store>/
-      manifest.json           # schema + full grid description
-      cells/
-        <surface>__<group...>__<cell...>.json
-
-A cell file is ``{"schema": ..., "surface": ..., "group": [...],
+Result stores
+-------------
+Cell persistence goes through the pluggable store layer
+(:mod:`repro.engine.store`): the ``json`` backend keeps the original
+directory layout (``manifest.json`` plus one atomically written file
+per cell), the ``sqlite`` backend keeps everything in one WAL-mode
+database file with the values exploded into an indexed columnar table.
+A cell payload is ``{"schema": ..., "surface": ..., "group": [...],
 "cell": [...], "seed_state": "<sha1>", "status": "done",
-"values": {...}}``.  Corrupted or partial cell files (a killed run can
-only ever leave a stray ``*.tmp`` behind — final writes are atomic
-renames — but truncation or manual editing happens) are detected,
-reported in :attr:`SweepOutcome.invalid`, and re-run.
+"values": {...}}`` on every backend.  Corrupted or partial cells (a
+killed run can only ever leave a stray ``*.tmp`` file or an aborted
+transaction behind — final writes are atomic — but truncation or
+manual editing happens) are detected, reported in
+:attr:`SweepOutcome.invalid`, and re-run.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import re
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.datagen.uncertainty_gen import PDF_FAMILIES
 from repro.engine.backends import shared_block_registry
-from repro.exceptions import InvalidParameterError, SweepStoreError
+from repro.engine.store import (
+    SWEEP_SCHEMA_VERSION,
+    JsonStore,
+    ResultStore,
+    cell_id,
+    open_store,
+)
+from repro.engine.store import seed_fingerprint as _seed_fingerprint
+from repro.exceptions import InvalidParameterError
 from repro.experiments.config import (
     ACCURACY_ROSTER,
     FAST_ROSTER,
@@ -78,9 +79,6 @@ from repro.experiments.figure5 import FIGURE5_FRACTIONS, FIGURE5_K
 from repro.experiments.table2 import TABLE2_DATASETS
 from repro.experiments.table3 import TABLE3_CLUSTER_COUNTS, TABLE3_DATASETS
 from repro.utils.rng import spawn_rngs
-
-#: Bumped whenever the store layout or a cell payload's meaning changes.
-SWEEP_SCHEMA_VERSION = 1
 
 #: Execution order of the surfaces (each derives its streams from its
 #: own ``config.seed``, so the order never affects any cell's seeds).
@@ -265,136 +263,10 @@ def paper_grid(
 # ----------------------------------------------------------------------
 # Result store
 # ----------------------------------------------------------------------
-def _dumps(payload: Dict[str, object]) -> str:
-    """Canonical JSON: sorted keys, stable indentation, no timestamps.
-
-    Determinism is a feature — a resumed store must be byte-identical
-    to an uninterrupted one wherever the values themselves are
-    deterministic.
-    """
-    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
-
-
-def _slug(part: object) -> str:
-    return re.sub(r"[^A-Za-z0-9.+-]+", "-", str(part))
-
-
-def cell_id(surface: str, group: Sequence[object], cell: Sequence[object]) -> str:
-    """Stable file-name id of one grid cell."""
-    return "__".join(_slug(part) for part in (surface, *group, *cell))
-
-
-def _seed_fingerprint(rng: np.random.Generator) -> str:
-    """Digest of a generator's exact state (non-consuming).
-
-    Stored with every cell and re-derived on resume: a completed cell is
-    only skipped when the replayed schedule reaches it with the *same*
-    stream state, which is what makes the skip bit-identical.
-    """
-    state = json.dumps(rng.bit_generator.state, sort_keys=True, default=int)
-    return hashlib.sha1(state.encode()).hexdigest()
-
-
-class SweepStore:
-    """Directory-backed result store: a manifest plus one file per cell."""
-
-    MANIFEST = "manifest.json"
-
-    def __init__(self, root: Union[str, Path]):
-        self.root = Path(root)
-        self.cells_dir = self.root / "cells"
-
-    # -- lifecycle -----------------------------------------------------
-    def prepare(self, description: Dict[str, object], resume: bool) -> None:
-        """Create the store, or verify an existing one matches the grid."""
-        manifest = self.root / self.MANIFEST
-        if manifest.exists():
-            try:
-                existing = json.loads(manifest.read_text())
-            except (json.JSONDecodeError, OSError) as error:
-                raise SweepStoreError(
-                    f"unreadable sweep manifest {manifest}: {error}"
-                ) from error
-            if existing != description:
-                raise SweepStoreError(
-                    f"store {self.root} was written for a different grid; "
-                    "use a fresh --store directory (or the original grid)"
-                )
-            if not resume and self._has_cells():
-                raise SweepStoreError(
-                    f"store {self.root} already holds results; pass "
-                    "resume=True (--resume) to fill in missing cells, or "
-                    "choose a fresh directory"
-                )
-        else:
-            if self.root.exists() and any(self.root.iterdir()):
-                raise SweepStoreError(
-                    f"{self.root} exists, is not empty and has no sweep "
-                    "manifest; refusing to write into it"
-                )
-            self.root.mkdir(parents=True, exist_ok=True)
-            _atomic_write(manifest, _dumps(description))
-        self.cells_dir.mkdir(parents=True, exist_ok=True)
-
-    def _has_cells(self) -> bool:
-        return self.cells_dir.is_dir() and any(
-            self.cells_dir.glob("*.json")
-        )
-
-    # -- cells ---------------------------------------------------------
-    def cell_path(self, cell: str) -> Path:
-        return self.cells_dir / f"{cell}.json"
-
-    def load_cell(
-        self, cell: str
-    ) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
-        """(payload, problem): payload when clean, problem when damaged.
-
-        ``(None, None)`` means the cell simply has not run yet.
-        """
-        path = self.cell_path(cell)
-        if not path.exists():
-            return None, None
-        try:
-            payload = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
-            return None, "unreadable"
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != SWEEP_SCHEMA_VERSION
-            or payload.get("status") != "done"
-            or not isinstance(payload.get("values"), dict)
-            or not isinstance(payload.get("seed_state"), str)
-        ):
-            return None, "incomplete"
-        return payload, None
-
-    def write_cell(
-        self,
-        surface: str,
-        group: Sequence[object],
-        cell: Sequence[object],
-        seed_state: str,
-        values: Dict[str, object],
-    ) -> str:
-        name = cell_id(surface, group, cell)
-        payload = {
-            "schema": SWEEP_SCHEMA_VERSION,
-            "surface": surface,
-            "group": [str(part) for part in group],
-            "cell": [str(part) for part in cell],
-            "seed_state": seed_state,
-            "status": "done",
-            "values": values,
-        }
-        _atomic_write(self.cell_path(name), _dumps(payload))
-        return name
+#: Backward-compatible name for the original directory-backed store;
+#: the store layer now lives in :mod:`repro.engine.store` behind the
+#: pluggable :class:`~repro.engine.store.ResultStore` API.
+SweepStore = JsonStore
 
 
 # ----------------------------------------------------------------------
@@ -470,13 +342,13 @@ def _group_scope(config: ExperimentConfig):
 class _CellLedger:
     """Per-surface bookkeeping shared by the four surface loops."""
 
-    def __init__(self, store: SweepStore, outcome: SweepOutcome, log):
+    def __init__(self, store: ResultStore, outcome: SweepOutcome, log):
         self.store = store
         self.outcome = outcome
         self.log = log
 
     def reuse_whole_group(
-        self, names: Sequence[str]
+        self, names: List[str]
     ) -> Optional[Dict[str, Dict[str, object]]]:
         """All cells of a group, when every one is present and clean.
 
@@ -484,14 +356,13 @@ class _CellLedger:
         materializes the group and walks it cell by cell (which is
         where damaged files get reported and re-run).  Group streams
         are independent, so a fully-cached group can skip even its
-        dataset generation.
+        dataset generation.  The read is one bulk
+        :meth:`~repro.engine.store.ResultStore.load_group` call, which
+        the SQLite backend answers with a single indexed query.
         """
-        values: Dict[str, Dict[str, object]] = {}
-        for name in names:
-            payload, problem = self.store.load_cell(name)
-            if payload is None or problem is not None:
-                return None
-            values[name] = payload["values"]
+        values = self.store.load_group(names)
+        if values is None:
+            return None
         self.outcome.reused.extend(names)
         return values
 
@@ -771,9 +642,10 @@ _SURFACE_RUNNERS = {
 
 def run_sweep(
     grid: SweepGrid,
-    store: Union[str, Path],
+    store: Union[str, Path, ResultStore],
     resume: bool = False,
     progress: Progress = None,
+    store_backend: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute (or resume) one paper-grid sweep against a result store.
 
@@ -782,9 +654,10 @@ def run_sweep(
     grid:
         The surfaces to run; see :class:`SweepGrid` / :func:`paper_grid`.
     store:
-        Result-store directory.  Created when new; an existing store
-        must carry the same grid manifest (anything else raises
-        :class:`~repro.exceptions.SweepStoreError`).
+        Result-store path (or an already-open
+        :class:`~repro.engine.store.ResultStore`).  Created when new;
+        an existing store must carry the same grid manifest (anything
+        else raises :class:`~repro.exceptions.SweepStoreError`).
     resume:
         Reuse completed cells from the store, replaying their seed
         consumption so pending cells get bit-identical streams.
@@ -793,19 +666,31 @@ def run_sweep(
     progress:
         Optional ``callable(str)`` receiving one line per cell/group
         event (the CLI passes ``print``).
+    store_backend:
+        ``"json"`` or ``"sqlite"``; ``None`` resolves from the path
+        (directory vs ``.sqlite`` file,
+        :func:`repro.engine.store.infer_backend`).
 
     Returns
     -------
     SweepOutcome
         Executed/reused/invalid cell ids plus one report per surface,
-        each equal to its direct runner's output for the same spec.
+        each equal to its direct runner's output for the same spec —
+        on either store backend.
     """
-    sweep_store = SweepStore(store)
-    sweep_store.prepare(grid.describe(), resume)
-    outcome = SweepOutcome(grid=grid, store_root=sweep_store.root)
-    ledger = _CellLedger(sweep_store, outcome, progress or (lambda _msg: None))
-    for name in SWEEP_SURFACES:
-        spec = getattr(grid, name)
-        if spec is not None:
-            setattr(outcome, name, _SURFACE_RUNNERS[name](spec, ledger))
-    return outcome
+    sweep_store = open_store(store, backend=store_backend)
+    borrowed = isinstance(store, ResultStore)
+    try:
+        sweep_store.prepare(grid.describe(), resume)
+        outcome = SweepOutcome(grid=grid, store_root=sweep_store.path)
+        ledger = _CellLedger(
+            sweep_store, outcome, progress or (lambda _msg: None)
+        )
+        for name in SWEEP_SURFACES:
+            spec = getattr(grid, name)
+            if spec is not None:
+                setattr(outcome, name, _SURFACE_RUNNERS[name](spec, ledger))
+        return outcome
+    finally:
+        if not borrowed:
+            sweep_store.close()

@@ -37,6 +37,7 @@ def collect_artifacts(
     figure5_base_size: int = 20000,
     store: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    store_backend: Optional[str] = None,
 ) -> PaperArtifacts:
     """Run all four experiment suites with the given configurations.
 
@@ -48,6 +49,11 @@ def collect_artifacts(
     earlier (possibly interrupted) invocation.  Cell values are
     identical in both modes — the orchestrator runs the runners' own
     group/cell executors.
+
+    The store's backend resolves from the path (a directory means the
+    JSON layout, a ``.sqlite`` file the SQLite backend) unless pinned
+    via ``store_backend``; the artifacts are value-identical on either,
+    and on SQLite the completed-cell reads run as indexed SQL.
     """
     if store is not None:
         from repro.engine.sweep import paper_grid, run_sweep
@@ -59,7 +65,9 @@ def collect_artifacts(
             figure5_config=figure5_config,
             figure5_base_size=figure5_base_size,
         )
-        return run_sweep(grid, store, resume=resume).artifacts()
+        return run_sweep(
+            grid, store, resume=resume, store_backend=store_backend
+        ).artifacts()
     return PaperArtifacts(
         table2=run_table2(table2_config),
         table3=run_table3(table3_config),

@@ -11,6 +11,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def _bench_module():
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import run_bench
+    finally:
+        sys.path.pop(0)
+    return run_bench
+
+
 def _run_bench(*args, timeout=300):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
@@ -37,7 +46,7 @@ def test_run_bench_quick_emits_schema_json(tmp_path):
     proc = _run_bench("--quick", "--force", "--output", str(output))
     assert proc.returncode == 0, proc.stderr
     payload = json.loads(output.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == _bench_module().SCHEMA_VERSION
     assert payload["quick"] is True
     assert payload["machine"]["cpu_count"] == os.cpu_count()
     names = {entry["name"] for entry in payload["benchmarks"]}
@@ -56,7 +65,10 @@ def test_run_bench_quick_emits_schema_json(tmp_path):
         "ukmedoids_plane_shared",
         "ukmedoids_plane_recompute",
         "uahc_jeffreys_fit",
+        "store_aggregate_sqlite",
+        "store_aggregate_json",
     } <= names
+    assert by_name["store_aggregate_sqlite"]["speedup"] > 0
     assert all(entry["seconds"] > 0 for entry in payload["benchmarks"])
 
 
@@ -79,7 +91,7 @@ class TestOverwriteGuard:
         output = tmp_path / "BENCH_engine.json"
         original = json.dumps(
             {
-                "schema": 1,
+                "schema": _bench_module().SCHEMA_VERSION,
                 "benchmarks": [{"name": "retired_measurement", "seconds": 1}],
             }
         )
@@ -99,11 +111,7 @@ class TestOverwriteGuard:
     def test_committed_snapshot_is_like_for_like(self):
         """The committed BENCH_engine.json must always be overwritable
         by the current script — i.e. schema and roster in sync."""
-        sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
-        try:
-            import run_bench
-        finally:
-            sys.path.pop(0)
+        run_bench = _bench_module()
         assert (
             run_bench.snapshot_conflict(REPO_ROOT / "BENCH_engine.json")
             is None
