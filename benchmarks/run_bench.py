@@ -23,7 +23,11 @@ The measurement roster mirrors ``benchmarks/bench_engine.py``:
 * UAHC's vectorized proximity agglomeration;
 * report-shaped aggregation (metric summary + best-of-group +
   rank-over-grid) over a ~10k-cell synthetic result store, on the JSON
-  directory backend vs the SQLite columnar backend.
+  directory backend vs the SQLite columnar backend;
+* the multi-worker sweep: one compute-dominated small grid run by a
+  single worker vs two claim-based worker processes leasing cells off
+  one shared store (speedup only materializes on >= 2 cores; the
+  single-core record documents the coordination overhead instead).
 
 Timings are best-of-``repeats`` wall clock; the JSON also records the
 machine shape (cores, python, numpy) so numbers are comparable only
@@ -59,7 +63,7 @@ from repro.objects import UncertainDataset, UncertainObject
 from repro.utils.rng import ensure_rng
 
 #: Bumped whenever a measurement's name or meaning changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The fixed measurement roster.  ``run_benchmarks`` must emit exactly
 #: these names; the overwrite guard in :func:`main` compares an existing
@@ -79,6 +83,8 @@ MEASUREMENT_NAMES = (
     "uahc_jeffreys_fit",
     "store_aggregate_sqlite",
     "store_aggregate_json",
+    "sweep_single_worker",
+    "sweep_two_workers",
 )
 
 
@@ -365,6 +371,62 @@ def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
         speedup=agg_json / agg_sqlite,
     )
     record("store_aggregate_json", agg_json, cells=store_cells)
+
+    # --- multi-worker sweep ------------------------------------------
+    from repro.engine.sweep import (
+        SweepGrid,
+        Table3Spec,
+        run_sweep,
+        run_sweep_workers,
+    )
+    from repro.experiments import ExperimentConfig
+
+    sweep_runs = max(3, int(30 * scale))
+
+    def _sweep_grid():
+        # Compute-dominated: n_runs restarts per cell dwarf the
+        # per-group off-line prep, so two workers can split the grid.
+        return SweepGrid(
+            table3=Table3Spec(
+                config=ExperimentConfig(
+                    scale=0.05, n_runs=sweep_runs, n_samples=8, seed=11
+                ),
+                datasets=("neuroblastoma", "leukaemia"),
+                cluster_counts=(25, 30),
+                algorithms=("UKmed", "UKM", "MMV"),
+            )
+        )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            run_sweep(_sweep_grid(), os.path.join(tmp, "single"))
+            sweep_single = time.perf_counter() - start
+            start = time.perf_counter()
+            run_sweep_workers(
+                _sweep_grid(),
+                os.path.join(tmp, "double"),
+                workers=2,
+                lease_ttl=10.0,
+                poll_interval=0.1,
+            )
+            sweep_double = time.perf_counter() - start
+    record(
+        "sweep_single_worker",
+        sweep_single,
+        cells=12,
+        n_runs=sweep_runs,
+        workers=1,
+    )
+    record(
+        "sweep_two_workers",
+        sweep_double,
+        cells=12,
+        n_runs=sweep_runs,
+        workers=2,
+        speedup=sweep_single / sweep_double,
+    )
 
     # --- hierarchical ------------------------------------------------
     n_uahc = int(300 * scale)

@@ -215,18 +215,43 @@ def _sweep_grid(args: argparse.Namespace):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.engine.sweep import run_sweep
+    from repro.engine.sweep import (
+        run_sweep,
+        run_sweep_worker,
+        run_sweep_workers,
+    )
     from repro.exceptions import SweepStoreError
 
+    if args.store is None and args.join is None:
+        print("error: provide --store PATH (or --join PATH)", file=sys.stderr)
+        return 2
     grid = _sweep_grid(args)
     try:
-        outcome = run_sweep(
-            grid,
-            args.store,
-            resume=args.resume,
-            progress=print,
-            store_backend=args.store_backend,
-        )
+        if args.join is not None:
+            outcome = run_sweep_worker(
+                grid,
+                args.join,
+                lease_ttl=args.lease_ttl,
+                progress=print,
+                store_backend=args.store_backend,
+            )
+        elif args.workers > 1:
+            outcome = run_sweep_workers(
+                grid,
+                args.store,
+                workers=args.workers,
+                lease_ttl=args.lease_ttl,
+                progress=print,
+                store_backend=args.store_backend,
+            )
+        else:
+            outcome = run_sweep(
+                grid,
+                args.store,
+                resume=args.resume,
+                progress=print,
+                store_backend=args.store_backend,
+            )
     except SweepStoreError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -250,6 +275,29 @@ def _cmd_store_migrate(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(report.summary())
+    return 0
+
+
+def _cmd_store_diff(args: argparse.Namespace) -> int:
+    from repro.engine.store import diff_stores
+    from repro.exceptions import SweepStoreError
+
+    try:
+        differences = diff_stores(
+            args.left,
+            args.right,
+            left_backend=args.left_backend,
+            right_backend=args.right_backend,
+        )
+    except SweepStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if differences:
+        for line in differences:
+            print(line)
+        print(f"stores differ ({len(differences)} difference(s))")
+        return 1
+    print(f"stores identical: {args.left} == {args.right}")
     return 0
 
 
@@ -440,9 +488,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(ps)
     ps.add_argument(
         "--store",
-        required=True,
+        default=None,
         help="result-store path: a directory (JSON backend) or a "
         ".sqlite file (SQLite backend)",
+    )
+    ps.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run the grid with this many claim-based worker processes "
+        "(leases on the store coordinate them; the final store is "
+        "identical to a single-worker run)",
+    )
+    ps.add_argument(
+        "--join",
+        metavar="PATH",
+        default=None,
+        help="attach to PATH as one claim-based sweep worker (other "
+        "workers — local or remote — may share the store; implies "
+        "resume semantics)",
+    )
+    ps.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a cell lease lives between heartbeats; a dead "
+        "worker's cells are reclaimed after this long",
     )
     ps.add_argument(
         "--store-backend",
@@ -497,7 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.set_defaults(func=_cmd_report)
 
     pst = sub.add_parser(
-        "store", help="result-store utilities (migrate, summary)"
+        "store", help="result-store utilities (migrate, diff, summary)"
     )
     store_sub = pst.add_subparsers(dest="store_command", required=True)
 
@@ -524,6 +595,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print one line per cell"
     )
     pm.set_defaults(func=_cmd_store_migrate)
+
+    pdf = store_sub.add_parser(
+        "diff",
+        help="compare two stores cell-for-cell (exit 1 when they "
+        "differ); backends may differ — payloads are canonical JSON "
+        "on both",
+    )
+    pdf.add_argument("left", help="first store path")
+    pdf.add_argument("right", help="second store path")
+    pdf.add_argument(
+        "--left-backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force the first store's backend",
+    )
+    pdf.add_argument(
+        "--right-backend",
+        choices=["json", "sqlite"],
+        default=None,
+        help="force the second store's backend",
+    )
+    pdf.set_defaults(func=_cmd_store_diff)
 
     pq = store_sub.add_parser(
         "summary",

@@ -33,7 +33,11 @@ from repro.engine.store.base import (
     validate_payload,
 )
 from repro.engine.store.json_store import JsonStore
-from repro.engine.store.migrate import MigrationReport, migrate_store
+from repro.engine.store.migrate import (
+    MigrationReport,
+    diff_stores,
+    migrate_store,
+)
 from repro.engine.store.sqlite_store import SqliteStore
 from repro.exceptions import InvalidParameterError
 
@@ -96,6 +100,7 @@ __all__ = [
     "build_payload",
     "canonical_dumps",
     "cell_id",
+    "diff_stores",
     "infer_backend",
     "migrate_store",
     "open_store",

@@ -36,6 +36,26 @@ Python implementations over :meth:`~ResultStore.iter_cells`; the SQLite
 backend overrides them with indexed SQL (``GROUP BY``, window
 functions).  Both produce identical rows — the conformance suite in
 ``tests/test_store.py`` pins it.
+
+Claim/lease layer
+-----------------
+The store doubles as the coordination substrate for multi-worker sweep
+execution (:meth:`ResultStore.claim_cell`,
+:meth:`~ResultStore.renew_lease`, :meth:`~ResultStore.release_cell`,
+:meth:`~ResultStore.active_leases`): a worker *claims* a pending cell
+before running it, heartbeats the lease while computing, and releases
+it after the cell's payload lands.  A lease is ``(owner, expires_at)``;
+an expired lease means its worker died mid-cell and any survivor may
+reclaim (work-stealing).  Leases are *coordination only* — they never
+change what gets computed, because every cell is deterministic given
+the grid (seed-fingerprint replay), so the worst case of a lost race
+is one cell computed twice and written twice with identical bytes.
+The SQLite backend claims atomically (one WAL transaction on a
+``leases`` table); the JSON backend is best-effort (``O_EXCL`` claim
+files — the initial claim is race-free, stealing an expired lease is
+last-writer-wins).  Lease state is ephemeral and excluded from store
+identity: a finished sweep leaves no lease behind
+(:meth:`~ResultStore.reap_leases`).
 """
 
 from __future__ import annotations
@@ -350,6 +370,86 @@ class ResultStore(ABC):
     def count_cells(self) -> int:
         """Number of stored cells (damaged ones included)."""
         return sum(1 for _ in self.iter_cells())
+
+    # -- claim/lease layer ---------------------------------------------
+    @abstractmethod
+    def claim_cell(self, cell: str, owner: str, ttl: float) -> bool:
+        """Try to acquire the lease on one cell for ``ttl`` seconds.
+
+        Succeeds when the cell has no lease, when ``owner`` already
+        holds it (re-entrant — also extends the expiry), or when the
+        existing lease has expired (its worker died; the claim *steals*
+        it).  Returns ``False`` when another worker holds a live lease.
+        Claiming never inspects the cell's payload: a completed cell
+        can be claimed, which is harmless because re-running a
+        deterministic cell rewrites identical bytes.
+        """
+
+    @abstractmethod
+    def renew_lease(self, cell: str, owner: str, ttl: float) -> bool:
+        """Extend a held lease (heartbeat); ``False`` when it was lost.
+
+        Only the current owner can renew.  A ``False`` return means the
+        lease expired and was stolen (or released) — the worker should
+        keep computing anyway (writes are idempotent) but must expect a
+        peer to finish the cell first.
+        """
+
+    @abstractmethod
+    def release_cell(self, cell: str, owner: Optional[str] = None) -> None:
+        """Drop a lease.  With ``owner``, only that owner's lease.
+
+        ``owner=None`` force-releases whatever lease exists (used by
+        :meth:`reap_leases` to clear leases of dead workers).  Missing
+        leases are ignored — release is idempotent.
+        """
+
+    @abstractmethod
+    def active_leases(self) -> Dict[str, Tuple[str, float]]:
+        """Every recorded lease as ``{cell_id: (owner, expires_at)}``.
+
+        Includes expired leases — expiry is a property the *reader*
+        evaluates against its own clock, not a deletion event.
+        """
+
+    def reap_leases(self, now: Optional[float] = None) -> List[str]:
+        """Drop stale leases; returns the reaped cell ids (sorted).
+
+        A lease is stale when its cell is already complete (the owner
+        died between writing the payload and releasing) or when it has
+        expired (the owner died mid-cell).  Workers call this when they
+        finish a grid so a completed sweep's store carries no lease
+        state at all — lease bookkeeping must never show up in the
+        store-identity comparisons (tree bytes / logical rows).
+        """
+        import time as _time
+
+        clock = _time.time() if now is None else now
+        reaped = []
+        for cell, (_owner, expires_at) in sorted(self.active_leases().items()):
+            if expires_at <= clock:
+                self.release_cell(cell)
+                reaped.append(cell)
+                continue
+            payload, problem = self.load_cell(cell)
+            if payload is not None and problem is None:
+                self.release_cell(cell)
+                reaped.append(cell)
+        return reaped
+
+    def discard_stray_tmp(self) -> List[str]:
+        """Remove write-in-flight residue dead workers left behind.
+
+        A worker killed between opening a tmp file and renaming it
+        leaves a ``*.tmp`` under the store — invisible to every reader
+        but a spurious difference in the tree-bytes identity check.
+        Only call this when no other process can be mid-write (e.g.
+        after every worker process has been joined): unlinking a live
+        peer's in-flight tmp would break its rename.  Substrates
+        without stray files (SQLite rolls back via the WAL) return an
+        empty list.
+        """
+        return []
 
     # -- query layer ---------------------------------------------------
     def query(

@@ -13,11 +13,22 @@ can only ever leave a stray ``*.tmp`` behind and a power loss cannot
 leave a truncated file under a final name.  Human-inspectable and
 rsync-able; for large grids and SQL-side aggregation, prefer
 :class:`~repro.engine.store.sqlite_store.SqliteStore`.
+
+Leases are claim files under ``<store>/leases/`` — one small JSON file
+per leased cell, created with ``O_EXCL`` so the *initial* claim is a
+race-free test-and-set even on shared filesystems.  Stealing an
+expired lease replaces the file (last-writer-wins, best effort: two
+stealers may both think they won, which only duplicates one
+deterministic cell).  Lease files are deleted on release and reaped
+after a finished sweep, so they never participate in the store's
+tree-bytes identity.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
@@ -36,10 +47,12 @@ class JsonStore(ResultStore):
 
     backend = "json"
     MANIFEST = "manifest.json"
+    LEASE_SUFFIX = ".lease"
 
     def __init__(self, root: Union[str, Path]):
         super().__init__(root)
         self.cells_dir = self.path / "cells"
+        self.leases_dir = self.path / "leases"
 
     # -- lifecycle -----------------------------------------------------
     def prepare(self, description: Dict[str, object], resume: bool) -> None:
@@ -101,6 +114,121 @@ class JsonStore(ResultStore):
     ) -> Iterator[Tuple[str, Optional[Dict[str, object]], Optional[str]]]:
         if not self.cells_dir.is_dir():
             return
-        for path in sorted(self.cells_dir.glob("*.json")):
-            payload, problem = self.load_cell(path.stem)
-            yield path.stem, payload, problem
+        # Sort the *cell ids* (file stems), not the directory listing:
+        # ``os.listdir`` order is filesystem-dependent, and sorting full
+        # filenames diverges from id order when one id is a prefix of
+        # another (ids may contain ``+``/``-``, which sort below the
+        # ``.`` of ``.json``).  The SQLite backend orders by cell id;
+        # this must match it row for row.
+        names = sorted(
+            entry[: -len(".json")]
+            for entry in os.listdir(self.cells_dir)
+            if entry.endswith(".json")
+        )
+        for name in names:
+            payload, problem = self.load_cell(name)
+            yield name, payload, problem
+
+    # -- claim/lease layer ---------------------------------------------
+    def _lease_path(self, cell: str) -> Path:
+        return self.leases_dir / f"{cell}{self.LEASE_SUFFIX}"
+
+    def _read_lease(self, path: Path) -> Optional[Tuple[str, float]]:
+        try:
+            record = json.loads(path.read_text())
+            return str(record["owner"]), float(record["expires_at"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable/torn lease file: treat as no usable lease so a
+            # claim can replace it (leases are best-effort coordination,
+            # never data).
+            return None
+
+    def _write_lease(self, path: Path, owner: str, expires_at: float) -> None:
+        """Replace a lease file in place (steal / renew).
+
+        The tmp name carries a per-call token so two stealers never
+        interleave writes through one tmp file; ``os.replace`` keeps
+        the final name atomic.  No fsync: a lease lost to a crash is
+        simply re-claimed.
+        """
+        record = json.dumps(
+            {"owner": owner, "expires_at": expires_at}, sort_keys=True
+        )
+        tmp = path.with_name(f"{path.name}.{uuid.uuid4().hex}.tmp")
+        tmp.write_text(record)
+        os.replace(tmp, path)
+
+    def claim_cell(self, cell: str, owner: str, ttl: float) -> bool:
+        import time
+
+        now = time.time()
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        path = self._lease_path(cell)
+        record = json.dumps(
+            {"owner": owner, "expires_at": now + ttl}, sort_keys=True
+        )
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            current = self._read_lease(path)
+            if current is not None:
+                held_by, expires_at = current
+                if held_by != owner and expires_at > now:
+                    return False
+            self._write_lease(path, owner, now + ttl)
+            return True
+        with os.fdopen(fd, "w") as handle:
+            handle.write(record)
+        return True
+
+    def renew_lease(self, cell: str, owner: str, ttl: float) -> bool:
+        import time
+
+        path = self._lease_path(cell)
+        current = self._read_lease(path)
+        if current is None or current[0] != owner:
+            return False
+        self._write_lease(path, owner, time.time() + ttl)
+        return True
+
+    def release_cell(self, cell: str, owner: Optional[str] = None) -> None:
+        path = self._lease_path(cell)
+        if owner is not None:
+            current = self._read_lease(path)
+            if current is not None and current[0] != owner:
+                return
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def active_leases(self) -> Dict[str, Tuple[str, float]]:
+        if not self.leases_dir.is_dir():
+            return {}
+        leases: Dict[str, Tuple[str, float]] = {}
+        for entry in sorted(os.listdir(self.leases_dir)):
+            if not entry.endswith(self.LEASE_SUFFIX):
+                continue
+            record = self._read_lease(self.leases_dir / entry)
+            if record is not None:
+                leases[entry[: -len(self.LEASE_SUFFIX)]] = record
+        return leases
+
+    def discard_stray_tmp(self):
+        """Unlink ``*.tmp`` files a killed worker left mid-rename.
+
+        Covers the manifest, cell files and lease files.  Safe only
+        once no peer process can be writing (see the base docstring).
+        """
+        removed = []
+        candidates = [self.path / f"{self.MANIFEST}.tmp"]
+        for directory in (self.cells_dir, self.leases_dir):
+            if directory.is_dir():
+                candidates.extend(sorted(directory.glob("*.tmp")))
+        for stray in candidates:
+            try:
+                stray.unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(stray.relative_to(self.path).as_posix())
+        return removed

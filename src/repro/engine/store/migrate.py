@@ -12,10 +12,19 @@ The destination must be fresh (no results); a source with damaged
 cells is refused — migrating would either drop the damaged cells
 silently or copy garbage, and the right fix is to re-run them first
 (``repro sweep --resume``).
+
+A migration that fails mid-copy (or fails verification) **removes the
+partially written destination** before re-raising.  Without that, the
+partial store — manifest present, cells missing — would survive under
+the destination path, where the suffix-resolver and ``prepare`` treat
+it as an existing store and refuse every retry; the failed artifact
+can never be trusted anyway, since the only thing it attests is that
+its own copy did not finish.
 """
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
@@ -90,21 +99,97 @@ def migrate_store(
             destination=dst.path,
             destination_backend=dst.backend,
         )
-        for name, payload in payloads:
-            written = dst.write_payload(payload)
-            if written != name:
-                raise SweepStoreError(
-                    f"cell id drift while migrating {src.path}: source "
-                    f"holds {name!r} but its payload derives {written!r}"
-                )
-            report.cells.append(name)
-            log(f"copied {name}")
-        _verify(src, dst, payloads)
+        try:
+            for name, payload in payloads:
+                written = dst.write_payload(payload)
+                if written != name:
+                    raise SweepStoreError(
+                        f"cell id drift while migrating {src.path}: source "
+                        f"holds {name!r} but its payload derives {written!r}"
+                    )
+                report.cells.append(name)
+                log(f"copied {name}")
+            _verify(src, dst, payloads)
+        except BaseException:
+            # prepare() succeeded, so whatever sits under dst.path now is
+            # a partial copy of our own making — leaving it behind would
+            # make every retry refuse the path as an existing store.
+            _discard_partial_destination(dst, log)
+            raise
         log(report.summary())
         return report
     finally:
         src.close()
         dst.close()
+
+
+def diff_stores(
+    left: Union[str, Path, ResultStore],
+    right: Union[str, Path, ResultStore],
+    left_backend: Optional[str] = None,
+    right_backend: Optional[str] = None,
+) -> List[str]:
+    """Logical differences between two stores (empty list = identical).
+
+    Compares the manifest and every cell's payload.  Because both
+    backends persist the canonical JSON text of each payload, payload
+    equality here *is* byte equality of the stored cell content — the
+    comparison is backend-agnostic, so a JSON directory can be diffed
+    against a SQLite file (the CI multi-worker leg diffs a 2-worker
+    store against its single-worker reference this way).
+    """
+    from repro.engine.store import open_store
+
+    a = open_store(left, backend=left_backend)
+    b = open_store(right, backend=right_backend)
+    differences: List[str] = []
+    try:
+        manifests = {}
+        for side in (a, b):
+            manifests[side] = side.read_manifest()
+            if manifests[side] is None:
+                raise SweepStoreError(
+                    f"{side.path} has no sweep manifest; nothing to diff"
+                )
+        if manifests[a] != manifests[b]:
+            differences.append("manifest differs")
+        cells_a = {name: (payload, problem) for name, payload, problem in a.iter_cells()}
+        cells_b = {name: (payload, problem) for name, payload, problem in b.iter_cells()}
+        for name in sorted(set(cells_a) - set(cells_b)):
+            differences.append(f"cell only in {a.path}: {name}")
+        for name in sorted(set(cells_b) - set(cells_a)):
+            differences.append(f"cell only in {b.path}: {name}")
+        for name in sorted(set(cells_a) & set(cells_b)):
+            payload_a, problem_a = cells_a[name]
+            payload_b, problem_b = cells_b[name]
+            if problem_a is not None or problem_b is not None:
+                differences.append(
+                    f"damaged cell {name}: "
+                    f"{problem_a or 'clean'} vs {problem_b or 'clean'}"
+                )
+            elif payload_a != payload_b:
+                differences.append(f"payload differs: {name}")
+    finally:
+        a.close()
+        b.close()
+    return differences
+
+
+def _discard_partial_destination(dst: ResultStore, log) -> None:
+    """Best-effort removal of a destination we only partially wrote."""
+    try:
+        dst.close()
+        if dst.path.is_dir():
+            shutil.rmtree(dst.path, ignore_errors=True)
+        else:
+            for suffix in ("", "-wal", "-shm"):
+                side = Path(str(dst.path) + suffix)
+                if side.is_file():
+                    side.unlink()
+        log(f"removed partial destination {dst.path}")
+    except OSError:
+        # Removal is a courtesy; the original error matters more.
+        pass
 
 
 def _collect(src: ResultStore):

@@ -19,19 +19,37 @@ runs as indexed SQL with window functions instead of a Python loop
 over one file per cell.
 
 Concurrency & durability: the database runs in WAL journal mode, so
-concurrent writers (the planned distributed sweep) coordinate through
+concurrent writers (the multi-worker sweep) coordinate through
 SQLite's locking instead of the filesystem, and readers never block a
 writer.  ``synchronous=NORMAL`` under WAL means a power loss can drop
 the last commits but can never corrupt the database — a lost cell is
 simply re-run on resume, exactly like a cell that never got written.
 Each cell write is one transaction, so a killed run can never leave a
 half-written cell marked ``done``.
+
+Leases live in a ``leases(cell_id, owner, expires_at)`` table, created
+lazily so pre-lease stores open unchanged.  A claim is **one** WAL
+transaction — an upsert whose ``DO UPDATE`` is guarded by ``owner
+matches OR lease expired`` — so two workers racing for a cell are
+serialized by SQLite's single-writer lock and exactly one sees its row
+change.  The leases table is excluded from store identity (the
+logical-rows comparison reads ``cells``/``cell_values``/``meta``) and
+is left empty by a finished sweep.
+
+Fork safety: a ``sqlite3.Connection`` must never be used on both sides
+of a ``fork()`` — the child would share the parent's file descriptors
+and locking state.  The cached connection therefore remembers the pid
+that opened it and is discarded and lazily reopened whenever it
+surfaces in a different process (the ``processes`` execution backend
+forks workers while the sweep's store connection is open).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -73,6 +91,16 @@ CREATE INDEX IF NOT EXISTS idx_values_metric
     ON cell_values (metric, value);
 """
 
+# Created lazily on first lease operation (not part of _SCHEMA) so
+# stores written before the claim/lease layer open and verify cleanly.
+_LEASES_SCHEMA = """
+CREATE TABLE IF NOT EXISTS leases (
+    cell_id TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    expires_at REAL NOT NULL
+) WITHOUT ROWID
+"""
+
 
 def _is_missing_table(error: sqlite3.OperationalError) -> bool:
     return "no such table" in str(error)
@@ -86,9 +114,22 @@ class SqliteStore(ResultStore):
     def __init__(self, path: Union[str, Path]):
         super().__init__(path)
         self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        self._leases_ready = False
 
     # -- connection ----------------------------------------------------
     def _connect(self, create: bool = False) -> sqlite3.Connection:
+        if self._conn is not None and self._conn_pid != os.getpid():
+            # Inherited across fork(): a sqlite3.Connection must never
+            # be shared between processes.  Close *this process's*
+            # duplicate of the descriptors (the parent's locks are
+            # per-process and unaffected) and reopen lazily.
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+            self._leases_ready = False
         if self._conn is not None:
             return self._conn
         if not create and not self.path.exists():
@@ -107,12 +148,14 @@ class SqliteStore(ResultStore):
                 f"unreadable sqlite store {self.path}: {error}"
             ) from error
         self._conn = conn
+        self._conn_pid = os.getpid()
         return conn
 
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+            self._leases_ready = False
 
     def _execute(self, sql: str, params: Sequence[object] = ()):
         """Run one query, mapping substrate corruption to SweepStoreError."""
@@ -265,6 +308,71 @@ class SqliteStore(ResultStore):
             if _is_missing_table(error):
                 return 0
             raise
+
+    # -- claim/lease layer ---------------------------------------------
+    def _ensure_leases(self) -> sqlite3.Connection:
+        conn = self._connect()
+        if not self._leases_ready:
+            with conn:
+                conn.execute(_LEASES_SCHEMA)
+            self._leases_ready = True
+        return conn
+
+    def claim_cell(self, cell: str, owner: str, ttl: float) -> bool:
+        now = time.time()
+        conn = self._ensure_leases()
+        # One WAL transaction: the upsert's DO UPDATE only fires for a
+        # re-entrant claim or an expired lease, so under SQLite's
+        # single-writer lock exactly one racing worker sees a row
+        # change — that worker holds the lease.
+        with conn:
+            cursor = conn.execute(
+                "INSERT INTO leases (cell_id, owner, expires_at) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT(cell_id) DO UPDATE SET "
+                "  owner = excluded.owner, expires_at = excluded.expires_at "
+                "WHERE leases.owner = excluded.owner "
+                "   OR leases.expires_at <= ?",
+                (cell, owner, now + ttl, now),
+            )
+        return cursor.rowcount > 0
+
+    def renew_lease(self, cell: str, owner: str, ttl: float) -> bool:
+        conn = self._ensure_leases()
+        with conn:
+            cursor = conn.execute(
+                "UPDATE leases SET expires_at = ? "
+                "WHERE cell_id = ? AND owner = ?",
+                (time.time() + ttl, cell, owner),
+            )
+        return cursor.rowcount > 0
+
+    def release_cell(self, cell: str, owner: Optional[str] = None) -> None:
+        conn = self._ensure_leases()
+        with conn:
+            if owner is None:
+                conn.execute("DELETE FROM leases WHERE cell_id = ?", (cell,))
+            else:
+                conn.execute(
+                    "DELETE FROM leases WHERE cell_id = ? AND owner = ?",
+                    (cell, owner),
+                )
+
+    def active_leases(self) -> Dict[str, Tuple[str, float]]:
+        try:
+            rows = self._execute(
+                "SELECT cell_id, owner, expires_at FROM leases"
+            ).fetchall()
+        except sqlite3.OperationalError as error:
+            if _is_missing_table(error):
+                return {}
+            raise SweepStoreError(
+                f"corrupt sqlite store {self.path}: {error}"
+            ) from error
+        return {
+            cell: (owner, float(expires_at))
+            for cell, owner, expires_at in rows
+        }
 
     # -- SQL-side bulk load & aggregation ------------------------------
     def load_group(

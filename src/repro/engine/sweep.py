@@ -47,11 +47,30 @@ killed run can only ever leave a stray ``*.tmp`` file or an aborted
 transaction behind — final writes are atomic — but truncation or
 manual editing happens) are detected, reported in
 :attr:`SweepOutcome.invalid`, and re-run.
+
+Multi-worker execution
+----------------------
+:func:`run_sweep_worker` executes the same schedule as a claim-based
+*worker*: pending cells are leased on the store before running
+(:meth:`~repro.engine.store.ResultStore.claim_cell`), leases are
+heartbeated while a cell computes, foreign-leased cells are deferred
+with their seed consumption replayed, and the walk repeats until the
+grid is fully resolved — reclaiming expired leases of dead workers on
+the way.  :func:`run_sweep_workers` drives N such workers as local
+processes plus a final collection pass.  Because every cell is
+deterministic given the grid (the fingerprint replay above), N workers
+produce a store *identical* to one worker's: same cells, same bytes.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+import hashlib
+import os
+import socket
+import threading
+import time
+import uuid
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -66,7 +85,7 @@ from repro.engine.store import (
     open_store,
 )
 from repro.engine.store import seed_fingerprint as _seed_fingerprint
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, SweepStoreError
 from repro.experiments.config import (
     ACCURACY_ROSTER,
     FAST_ROSTER,
@@ -83,6 +102,11 @@ from repro.utils.rng import spawn_rngs
 #: Execution order of the surfaces (each derives its streams from its
 #: own ``config.seed``, so the order never affects any cell's seeds).
 SWEEP_SURFACES = ("table2", "table3", "figure4", "figure5")
+
+#: Default lease duration for multi-worker execution.  A worker
+#: heartbeats at a third of this, so a lease only expires when its
+#: worker has been dead (or wedged) for most of the ttl.
+DEFAULT_LEASE_TTL = 30.0
 
 
 
@@ -281,6 +305,12 @@ class SweepOutcome:
     executed: List[str] = field(default_factory=list)
     reused: List[str] = field(default_factory=list)
     invalid: List[str] = field(default_factory=list)
+    #: Cells skipped because another worker held their lease (only ever
+    #: non-empty on intermediate worker passes; a returned outcome has
+    #: absorbed every deferred cell via a later pass).
+    deferred: List[str] = field(default_factory=list)
+    #: Grid walks a worker needed before every cell was accounted for.
+    passes: int = 1
     table2: Optional[object] = None  # Table2Report
     table3: Optional[object] = None  # Table3Report
     figure4: Optional[object] = None  # Figure4Report
@@ -314,6 +344,8 @@ class SweepOutcome:
         ]
         if self.invalid:
             parts.append(f"{len(self.invalid)} damaged cells re-run")
+        if self.passes > 1:
+            parts.append(f"{self.passes} passes")
         return ", ".join(parts)
 
 
@@ -339,13 +371,140 @@ def _group_scope(config: ExperimentConfig):
         yield
 
 
-class _CellLedger:
-    """Per-surface bookkeeping shared by the four surface loops."""
+def _default_worker_id() -> str:
+    """A globally unique lease owner id for one worker process."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
 
-    def __init__(self, store: ResultStore, outcome: SweepOutcome, log):
+
+class _LeaseClaimer:
+    """Claim/heartbeat/release plumbing for one sweep worker.
+
+    Claims and releases go through a dedicated store handle (not the
+    sweep's own, so lease traffic never interleaves with a payload
+    transaction), and the heartbeat thread opens its *own* handle per
+    leased cell — a ``sqlite3.Connection`` is single-thread by default
+    and there is no reason to weaken that.
+    """
+
+    def __init__(self, store: ResultStore, owner: str, ttl: float, log):
+        self.owner = owner
+        self.ttl = float(ttl)
+        self.log = log
+        self.store_path = store.path
+        self.store_backend = store.backend
+        self.lease_store = open_store(store.path, backend=store.backend)
+        # Deterministic per-owner rotation offset for order_groups.
+        self.offset = int(hashlib.sha1(owner.encode()).hexdigest()[:8], 16)
+
+    def close(self) -> None:
+        self.lease_store.close()
+
+    def claim(self, name: str) -> bool:
+        return self.lease_store.claim_cell(name, self.owner, self.ttl)
+
+    def release(self, name: str) -> None:
+        self.lease_store.release_cell(name, self.owner)
+
+    @contextmanager
+    def heartbeat(self, name: str):
+        """Renew the lease on ``name`` every ttl/3 while the body runs.
+
+        Losing the lease (stolen after a stall) is logged but does not
+        abort the computation: the cell is deterministic, so finishing
+        and writing anyway is harmless — both writers produce the same
+        bytes.
+        """
+        stop = threading.Event()
+        interval = max(self.ttl / 3.0, 0.05)
+
+        def beat() -> None:
+            beat_store = open_store(
+                self.store_path, backend=self.store_backend
+            )
+            try:
+                while not stop.wait(interval):
+                    try:
+                        if not beat_store.renew_lease(
+                            name, self.owner, self.ttl
+                        ):
+                            self.log(
+                                f"lease lost for {name}; finishing anyway "
+                                "(cell writes are idempotent)"
+                            )
+                            return
+                    except SweepStoreError:
+                        continue  # transient substrate hiccup; keep trying
+            finally:
+                beat_store.close()
+
+        thread = threading.Thread(
+            target=beat, name="sweep-lease-heartbeat", daemon=True
+        )
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join(timeout=max(1.0, interval * 2))
+
+
+class _CellLedger:
+    """Per-surface bookkeeping shared by the four surface loops.
+
+    With a ``claimer`` the ledger runs in multi-worker mode: a cell is
+    only executed after its lease is claimed, foreign-leased cells are
+    *deferred* (their seed consumption is still replayed, so the walk
+    stays on the exact single-worker streams), and executed cells
+    heartbeat their lease while running.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        outcome: SweepOutcome,
+        log,
+        claimer: Optional[_LeaseClaimer] = None,
+    ):
         self.store = store
         self.outcome = outcome
         self.log = log
+        self.claimer = claimer
+
+    def order_groups(self, groups: List) -> List:
+        """Iteration order of a surface's dataset groups.
+
+        Single-worker sweeps keep the natural order.  Workers rotate
+        the list by an owner-derived offset so concurrent workers start
+        in different groups; correctness never depends on this (group
+        seed streams are independent and every group is still walked),
+        it only reduces duplicate dataset materialization and claim
+        contention.
+        """
+        if self.claimer is None or len(groups) < 2:
+            return groups
+        shift = self.claimer.offset % len(groups)
+        return groups[shift:] + groups[:shift]
+
+    def begin_cell(self, name: str) -> bool:
+        """Whether this worker should run the cell (claims its lease)."""
+        if self.claimer is None:
+            return True
+        if self.claimer.claim(name):
+            return True
+        self.outcome.deferred.append(name)
+        self.log(f"deferred (leased by another worker): {name}")
+        return False
+
+    def running_cell(self, name: str):
+        """Context holding the cell's lease alive while it computes."""
+        if self.claimer is None:
+            return nullcontext()
+        return self.claimer.heartbeat(name)
+
+    def finish_cell(self, name: str) -> None:
+        """Release the lease after the cell's payload is durably stored."""
+        if self.claimer is not None:
+            self.claimer.release(name)
 
     def reuse_whole_group(
         self, names: List[str]
@@ -407,51 +566,61 @@ def _sweep_table2(spec: Table2Spec, ledger: _CellLedger) -> object:
         algorithms=spec.algorithms,
     )
     master = spawn_rngs(config.seed, len(spec.datasets) * len(spec.families))
-    stream_idx = 0
-    for ds_name in spec.datasets:
-        for family in spec.families:
-            rng = master[stream_idx]
-            stream_idx += 1
-            group = (ds_name, family)
-            names = {
-                alg: cell_id("table2", group, (alg,))
-                for alg in spec.algorithms
-            }
-            cached = ledger.reuse_whole_group(list(names.values()))
-            if cached is not None:
-                for alg in spec.algorithms:
-                    values = cached[names[alg]]
-                    report.cells[(ds_name, family, alg)] = Table2Cell(
+    groups = [
+        (ds_name, family)
+        for ds_name in spec.datasets
+        for family in spec.families
+    ]
+    for stream_idx, (ds_name, family) in ledger.order_groups(
+        list(enumerate(groups))
+    ):
+        rng = master[stream_idx]
+        group = (ds_name, family)
+        names = {
+            alg: cell_id("table2", group, (alg,))
+            for alg in spec.algorithms
+        }
+        cached = ledger.reuse_whole_group(list(names.values()))
+        if cached is not None:
+            for alg in spec.algorithms:
+                values = cached[names[alg]]
+                report.cells[(ds_name, family, alg)] = Table2Cell(
+                    theta=values["theta"], quality=values["quality"]
+                )
+            ledger.log(f"table2/{ds_name}/{family}: reused all cells")
+            continue
+        pair, n_classes = prepare_table2_group(ds_name, family, rng, config)
+        distances = None
+        with _group_scope(config):
+            for alg in spec.algorithms:
+                fingerprint = _seed_fingerprint(rng)
+                values = ledger.cached_values(names[alg], fingerprint)
+                if values is not None:
+                    skip_table2_cell(rng, config)
+                    cell = Table2Cell(
                         theta=values["theta"], quality=values["quality"]
                     )
-                ledger.log(f"table2/{ds_name}/{family}: reused all cells")
-                continue
-            pair, n_classes = prepare_table2_group(ds_name, family, rng, config)
-            distances = None
-            with _group_scope(config):
-                for alg in spec.algorithms:
-                    fingerprint = _seed_fingerprint(rng)
-                    values = ledger.cached_values(names[alg], fingerprint)
-                    if values is not None:
-                        skip_table2_cell(rng, config)
-                        cell = Table2Cell(
-                            theta=values["theta"], quality=values["quality"]
-                        )
-                    else:
-                        if distances is None:
-                            distances = pair.uncertain.pairwise_ed()
+                elif not ledger.begin_cell(names[alg]):
+                    skip_table2_cell(rng, config)
+                    cell = None
+                else:
+                    if distances is None:
+                        distances = pair.uncertain.pairwise_ed()
+                    with ledger.running_cell(names[alg]):
                         cell = run_table2_cell(
                             alg, pair, n_classes, rng, config, distances
                         )
-                        ledger.store.write_cell(
-                            "table2",
-                            group,
-                            (alg,),
-                            fingerprint,
-                            {"theta": cell.theta, "quality": cell.quality},
-                        )
-                        ledger.outcome.executed.append(names[alg])
-                        ledger.log(f"table2/{ds_name}/{family}/{alg}: done")
+                    ledger.store.write_cell(
+                        "table2",
+                        group,
+                        (alg,),
+                        fingerprint,
+                        {"theta": cell.theta, "quality": cell.quality},
+                    )
+                    ledger.finish_cell(names[alg])
+                    ledger.outcome.executed.append(names[alg])
+                    ledger.log(f"table2/{ds_name}/{family}/{alg}: done")
+                if cell is not None:
                     report.cells[(ds_name, family, alg)] = cell
     return report
 
@@ -471,7 +640,9 @@ def _sweep_table3(spec: Table3Spec, ledger: _CellLedger) -> object:
         algorithms=spec.algorithms,
     )
     streams = spawn_rngs(config.seed, len(spec.datasets))
-    for ds_name, ds_rng in zip(spec.datasets, streams):
+    for ds_name, ds_rng in ledger.order_groups(
+        list(zip(spec.datasets, streams))
+    ):
         cells = [
             (k, alg) for k in spec.cluster_counts for alg in spec.algorithms
         ]
@@ -496,12 +667,16 @@ def _sweep_table3(spec: Table3Spec, ledger: _CellLedger) -> object:
                 if values is not None:
                     skip_table3_cell(ds_rng, config)
                     quality = float(values["quality"])
+                elif not ledger.begin_cell(names[(k, alg)]):
+                    skip_table3_cell(ds_rng, config)
+                    quality = None
                 else:
                     if distances is None:
                         distances = dataset.pairwise_ed()
-                    quality = run_table3_cell(
-                        alg, dataset, k, ds_rng, config, distances
-                    )
+                    with ledger.running_cell(names[(k, alg)]):
+                        quality = run_table3_cell(
+                            alg, dataset, k, ds_rng, config, distances
+                        )
                     ledger.store.write_cell(
                         "table3",
                         (ds_name,),
@@ -509,9 +684,11 @@ def _sweep_table3(spec: Table3Spec, ledger: _CellLedger) -> object:
                         fingerprint,
                         {"quality": quality},
                     )
+                    ledger.finish_cell(names[(k, alg)])
                     ledger.outcome.executed.append(names[(k, alg)])
                     ledger.log(f"table3/{ds_name}/k{k}/{alg}: done")
-                report.quality[(ds_name, k, alg)] = quality
+                if quality is not None:
+                    report.quality[(ds_name, k, alg)] = quality
     return report
 
 
@@ -532,7 +709,9 @@ def _sweep_figure4(spec: Figure4Spec, ledger: _CellLedger) -> object:
     )
     roster = figure4_roster(spec.slow_group, spec.fast_group)
     streams = spawn_rngs(config.seed, len(spec.datasets))
-    for ds_name, ds_rng in zip(spec.datasets, streams):
+    for ds_name, ds_rng in ledger.order_groups(
+        list(zip(spec.datasets, streams))
+    ):
         names = {
             alg: cell_id("figure4", (ds_name,), (alg,)) for alg in roster
         }
@@ -553,10 +732,14 @@ def _sweep_figure4(spec: Figure4Spec, ledger: _CellLedger) -> object:
                 if values is not None:
                     skip_figure4_cell(ds_rng, config)
                     runtime_ms = float(values["runtime_ms"])
+                elif not ledger.begin_cell(names[alg]):
+                    skip_figure4_cell(ds_rng, config)
+                    runtime_ms = None
                 else:
-                    runtime_ms = run_figure4_cell(
-                        alg, dataset, k, ds_rng, config
-                    )
+                    with ledger.running_cell(names[alg]):
+                        runtime_ms = run_figure4_cell(
+                            alg, dataset, k, ds_rng, config
+                        )
                     ledger.store.write_cell(
                         "figure4",
                         (ds_name,),
@@ -564,9 +747,11 @@ def _sweep_figure4(spec: Figure4Spec, ledger: _CellLedger) -> object:
                         fingerprint,
                         {"runtime_ms": runtime_ms},
                     )
+                    ledger.finish_cell(names[alg])
                     ledger.outcome.executed.append(names[alg])
                     ledger.log(f"figure4/{ds_name}/{alg}: done")
-                report.runtimes_ms[(ds_name, alg)] = runtime_ms
+                if runtime_ms is not None:
+                    report.runtimes_ms[(ds_name, alg)] = runtime_ms
     return report
 
 
@@ -615,10 +800,14 @@ def _sweep_figure5(spec: Figure5Spec, ledger: _CellLedger) -> object:
                 if values is not None:
                     skip_figure5_cell(rng_runs, config)
                     runtime_ms = float(values["runtime_ms"])
+                elif not ledger.begin_cell(names[(frac, alg)]):
+                    skip_figure5_cell(rng_runs, config)
+                    runtime_ms = None
                 else:
-                    runtime_ms = run_figure5_cell(
-                        alg, subset, k, rng_runs, config
-                    )
+                    with ledger.running_cell(names[(frac, alg)]):
+                        runtime_ms = run_figure5_cell(
+                            alg, subset, k, rng_runs, config
+                        )
                     ledger.store.write_cell(
                         "figure5",
                         (f"f{frac}",),
@@ -626,9 +815,11 @@ def _sweep_figure5(spec: Figure5Spec, ledger: _CellLedger) -> object:
                         fingerprint,
                         {"runtime_ms": runtime_ms, "n": len(subset)},
                     )
+                    ledger.finish_cell(names[(frac, alg)])
                     ledger.outcome.executed.append(names[(frac, alg)])
                     ledger.log(f"figure5/f{frac}/{alg}: done")
-                report.runtimes_ms[(frac, alg)] = runtime_ms
+                if runtime_ms is not None:
+                    report.runtimes_ms[(frac, alg)] = runtime_ms
     return report
 
 
@@ -686,11 +877,209 @@ def run_sweep(
         ledger = _CellLedger(
             sweep_store, outcome, progress or (lambda _msg: None)
         )
-        for name in SWEEP_SURFACES:
-            spec = getattr(grid, name)
-            if spec is not None:
-                setattr(outcome, name, _SURFACE_RUNNERS[name](spec, ledger))
+        _run_surfaces(grid, ledger, outcome)
         return outcome
     finally:
         if not borrowed:
             sweep_store.close()
+
+
+def _run_surfaces(
+    grid: SweepGrid, ledger: _CellLedger, outcome: SweepOutcome
+) -> None:
+    for name in SWEEP_SURFACES:
+        spec = getattr(grid, name)
+        if spec is not None:
+            setattr(outcome, name, _SURFACE_RUNNERS[name](spec, ledger))
+
+
+def _prepare_shared(
+    sweep_store: ResultStore,
+    grid: SweepGrid,
+    attempts: int = 5,
+    delay: float = 0.2,
+) -> None:
+    """Prepare a store that several workers may be creating at once.
+
+    Workers always prepare with resume semantics (an existing store
+    holding a peer's cells is the normal case).  Creation itself races:
+    a second worker can observe the store half-born (a manifest tmp
+    file, an empty database) for a moment, which ``prepare`` reports as
+    a refusal — so a refusal is retried a few times before it is
+    believed.  Genuine refusals (different grid) still raise, just a
+    second late.
+    """
+    description = grid.describe()
+    for attempt in range(attempts):
+        try:
+            sweep_store.prepare(description, resume=True)
+            return
+        except SweepStoreError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+
+
+def run_sweep_worker(
+    grid: SweepGrid,
+    store: Union[str, Path, ResultStore],
+    worker_id: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = 0.5,
+    progress: Progress = None,
+    store_backend: Optional[str] = None,
+    max_passes: int = 0,
+) -> SweepOutcome:
+    """Join a (possibly shared) result store as one claim-based worker.
+
+    The worker walks the grid exactly like :func:`run_sweep` with
+    ``resume=True`` — same schedule, same seed streams — but before
+    executing a pending cell it *claims* the cell's lease on the store.
+    A cell leased to another worker is skipped for now (its seed
+    consumption is replayed, so every later cell still sees the exact
+    single-worker streams) and the walk repeats until no cell is left
+    deferred; each repeat reuses everything that landed in the
+    meantime, reclaims expired leases of dead workers, and waits
+    ``poll_interval`` seconds between passes while peers compute.  The
+    returned outcome's reports come from the final, fully-resolved
+    pass, so they are identical to a single-worker sweep's.
+
+    ``max_passes`` bounds the number of walks (0 = unbounded) and
+    raises :class:`~repro.exceptions.SweepStoreError` when exceeded —
+    a safety valve for tests; production workers wait out live peers.
+    """
+    log = progress or (lambda _msg: None)
+    sweep_store = open_store(store, backend=store_backend)
+    borrowed = isinstance(store, ResultStore)
+    owner = worker_id or _default_worker_id()
+    claimer = _LeaseClaimer(sweep_store, owner, lease_ttl, log)
+    try:
+        _prepare_shared(sweep_store, grid)
+        executed: List[str] = []
+        passes = 0
+        while True:
+            passes += 1
+            outcome = SweepOutcome(grid=grid, store_root=sweep_store.path)
+            ledger = _CellLedger(sweep_store, outcome, log, claimer)
+            _run_surfaces(grid, ledger, outcome)
+            executed.extend(outcome.executed)
+            if not outcome.deferred:
+                outcome.executed = executed
+                outcome.passes = passes
+                sweep_store.reap_leases()
+                return outcome
+            if max_passes and passes >= max_passes:
+                raise SweepStoreError(
+                    f"worker {owner} gave up after {passes} passes with "
+                    f"{len(outcome.deferred)} cells still leased elsewhere"
+                )
+            log(
+                f"worker {owner}: pass {passes} left "
+                f"{len(outcome.deferred)} cells leased to other workers; "
+                "waiting"
+            )
+            time.sleep(poll_interval)
+    finally:
+        claimer.close()
+        if not borrowed:
+            sweep_store.close()
+
+
+def _worker_main(
+    grid: SweepGrid,
+    store_path: str,
+    store_backend: Optional[str],
+    worker_id: str,
+    lease_ttl: float,
+    poll_interval: float,
+) -> None:
+    """Child-process entry point of :func:`run_sweep_workers`."""
+    run_sweep_worker(
+        grid,
+        store_path,
+        worker_id=worker_id,
+        lease_ttl=lease_ttl,
+        poll_interval=poll_interval,
+        store_backend=store_backend,
+    )
+
+
+def run_sweep_workers(
+    grid: SweepGrid,
+    store: Union[str, Path, ResultStore],
+    workers: int = 2,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = 0.5,
+    progress: Progress = None,
+    store_backend: Optional[str] = None,
+) -> SweepOutcome:
+    """Execute one grid with ``workers`` claim-based worker processes.
+
+    Spawns ``workers`` child processes (``spawn`` start method — no
+    inherited store handles), each running :func:`run_sweep_worker`
+    against the same store, then runs a final in-process collection
+    pass that assembles the reports (pure reuse when the children
+    covered the grid; it also finishes any cells a dead child left
+    behind, so a crashed worker degrades throughput, never the result).
+    The final store is identical to a single-worker run's: every cell
+    is produced by the same executors from the same seed streams, and
+    lease bookkeeping is reaped on completion.
+    """
+    if workers < 1:
+        raise InvalidParameterError(
+            f"workers must be >= 1, got {workers}"
+        )
+    import multiprocessing
+
+    log = progress or (lambda _msg: None)
+    if isinstance(store, ResultStore):
+        store_path, backend = store.path, store.backend
+    else:
+        store_path, backend = Path(store), store_backend
+    context = multiprocessing.get_context("spawn")
+    run_tag = uuid.uuid4().hex[:6]
+    processes = []
+    for index in range(workers):
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                grid,
+                str(store_path),
+                backend,
+                f"{socket.gethostname()}:w{index}:{run_tag}",
+                lease_ttl,
+                poll_interval,
+            ),
+        )
+        process.start()
+        processes.append(process)
+        log(f"started sweep worker {index} (pid {process.pid})")
+    for process in processes:
+        process.join()
+    failed = sum(1 for process in processes if process.exitcode != 0)
+    if failed:
+        log(f"{failed} worker(s) exited abnormally; collection pass "
+            "will finish their cells")
+    # Every worker is joined, so nobody can be mid-write: drop any
+    # tmp residue a killed worker left (it would spoil the tree-bytes
+    # identity with a single-worker store).
+    cleanup_store = open_store(
+        store,
+        backend=None if isinstance(store, ResultStore) else store_backend,
+    )
+    try:
+        stray = cleanup_store.discard_stray_tmp()
+        if stray:
+            log(f"removed {len(stray)} stray tmp file(s) from dead workers")
+    finally:
+        if not isinstance(store, ResultStore):
+            cleanup_store.close()
+    return run_sweep_worker(
+        grid,
+        store,
+        worker_id=f"{socket.gethostname()}:collector:{run_tag}",
+        lease_ttl=lease_ttl,
+        poll_interval=poll_interval,
+        progress=progress,
+        store_backend=store_backend,
+    )

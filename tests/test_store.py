@@ -19,15 +19,26 @@ query/aggregation helpers cannot tell the substrates apart:
   Python reference implementation or by SQL window functions;
 * migration round-trips byte-for-byte in either direction.
 
-Satellite regressions live here too: cell-id collision resistance and
-the durable (fsynced) atomic write.
+The claim/lease layer rides the same conformance matrix: double-claim
+races admit exactly one winner, expired leases are stolen, renewal is
+owner-only, and a multi-worker sweep — including one whose worker is
+SIGKILLed mid-grid — leaves a store identical to an uninterrupted
+single-worker run, with zero lease state behind.
+
+Satellite regressions live here too: cell-id collision resistance, the
+durable (fsynced) atomic write, fork safety of the cached SQLite
+connection, migration cleanup on mid-copy failure, and listdir-order
+independence of the JSON cell walk.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import sqlite3
+import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -39,11 +50,20 @@ from repro.engine.store import (
     atomic_write,
     build_payload,
     cell_id,
+    diff_stores,
     infer_backend,
     migrate_store,
     open_store,
 )
-from repro.engine.sweep import SweepGrid, Table2Spec, Table3Spec, run_sweep
+from repro.engine.sweep import (
+    SweepGrid,
+    Table2Spec,
+    Table3Spec,
+    _worker_main,
+    run_sweep,
+    run_sweep_worker,
+    run_sweep_workers,
+)
 from repro.exceptions import InvalidParameterError, SweepStoreError
 from repro.experiments import ExperimentConfig, run_table2, run_table3
 
@@ -64,8 +84,10 @@ def store_path(tmp_path: Path, backend: str, name: str = "store") -> Path:
     return tmp_path / (name if backend == "json" else f"{name}.sqlite")
 
 
-def _grid(seed=5, n_runs=2):
-    common = dict(n_runs=n_runs, n_samples=8, seed=seed)
+def _grid(seed=5, n_runs=2, backend="serial", n_jobs=1):
+    common = dict(
+        n_runs=n_runs, n_samples=8, seed=seed, backend=backend, n_jobs=n_jobs
+    )
     return SweepGrid(
         table2=Table2Spec(
             config=ExperimentConfig(scale=0.12, max_objects=40, **common),
@@ -789,3 +811,556 @@ class TestCLI:
         empty.mkdir()
         assert main(["store", "summary", str(empty)]) == 2
         assert "no sweep manifest" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Claim/lease layer (tentpole): conformance on both backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLeases:
+    def _prepared(self, tmp_path, backend, name="store"):
+        store = open_store(store_path(tmp_path, backend, name))
+        store.prepare(
+            {"schema": SWEEP_SCHEMA_VERSION, "surfaces": {}}, False
+        )
+        return store
+
+    def test_claim_is_exclusive_while_live(self, tmp_path, backend):
+        store = self._prepared(tmp_path, backend)
+        assert store.claim_cell("cell--0000000001", "alice", 60.0)
+        assert not store.claim_cell("cell--0000000001", "bob", 60.0)
+        leases = store.active_leases()
+        assert set(leases) == {"cell--0000000001"}
+        assert leases["cell--0000000001"][0] == "alice"
+        # An unrelated cell is claimable regardless.
+        assert store.claim_cell("cell--0000000002", "bob", 60.0)
+        store.close()
+
+    def test_claim_is_reentrant_and_extends(self, tmp_path, backend):
+        store = self._prepared(tmp_path, backend)
+        assert store.claim_cell("cell--0000000001", "alice", 10.0)
+        first = store.active_leases()["cell--0000000001"][1]
+        assert store.claim_cell("cell--0000000001", "alice", 120.0)
+        second = store.active_leases()["cell--0000000001"][1]
+        assert second > first
+        store.close()
+
+    def test_expired_lease_is_stolen(self, tmp_path, backend):
+        store = self._prepared(tmp_path, backend)
+        assert store.claim_cell("cell--0000000001", "dead-worker", 0.05)
+        time.sleep(0.1)
+        assert store.claim_cell("cell--0000000001", "bob", 60.0)
+        assert store.active_leases()["cell--0000000001"][0] == "bob"
+        store.close()
+
+    def test_renew_is_owner_only(self, tmp_path, backend):
+        store = self._prepared(tmp_path, backend)
+        # No lease at all: renewal reports the lease as lost.
+        assert not store.renew_lease("cell--0000000001", "alice", 60.0)
+        assert store.claim_cell("cell--0000000001", "alice", 10.0)
+        before = store.active_leases()["cell--0000000001"][1]
+        assert not store.renew_lease("cell--0000000001", "bob", 60.0)
+        assert store.active_leases()["cell--0000000001"][0] == "alice"
+        assert store.renew_lease("cell--0000000001", "alice", 120.0)
+        assert store.active_leases()["cell--0000000001"][1] > before
+        store.close()
+
+    def test_release_is_owner_checked_then_forced(self, tmp_path, backend):
+        store = self._prepared(tmp_path, backend)
+        assert store.claim_cell("cell--0000000001", "alice", 60.0)
+        store.release_cell("cell--0000000001", "bob")  # wrong owner: no-op
+        assert "cell--0000000001" in store.active_leases()
+        store.release_cell("cell--0000000001", "alice")
+        assert store.active_leases() == {}
+        assert store.claim_cell("cell--0000000001", "bob", 60.0)
+        store.release_cell("cell--0000000001")  # owner=None force-releases
+        assert store.active_leases() == {}
+        store.release_cell("never-claimed--00")  # idempotent on absence
+        store.close()
+
+    def test_reap_drops_complete_and_expired_leases(self, tmp_path, backend):
+        store = self._prepared(tmp_path, backend)
+        done = store.write_payload(_seed_payloads()[0])
+        # Owner died between writing the payload and releasing:
+        assert store.claim_cell(done, "crashed-after-write", 600.0)
+        # Owner died mid-cell (lease expired, no payload):
+        assert store.claim_cell("pending--0000000001", "crashed-mid", 0.05)
+        # A live worker still computing:
+        assert store.claim_cell("pending--0000000002", "alive", 600.0)
+        time.sleep(0.1)
+        reaped = store.reap_leases()
+        assert sorted(reaped) == sorted([done, "pending--0000000001"])
+        assert set(store.active_leases()) == {"pending--0000000002"}
+        store.close()
+
+    def test_double_claim_race_admits_one_winner(self, tmp_path, backend):
+        """N handles racing an initial claim: exactly one wins (O_EXCL
+        on JSON, the single-writer upsert transaction on SQLite)."""
+        path = store_path(tmp_path, backend)
+        with open_store(path) as store:
+            store.prepare(
+                {"schema": SWEEP_SCHEMA_VERSION, "surfaces": {}}, False
+            )
+        for round_idx in range(5):
+            cell = f"contested--{round_idx:010d}"
+            barrier = threading.Barrier(6)
+            wins: list = []
+
+            def contend(idx, cell=cell, barrier=barrier, wins=wins):
+                handle = open_store(path)
+                try:
+                    barrier.wait()
+                    if handle.claim_cell(cell, f"worker-{idx}", 60.0):
+                        wins.append(idx)
+                finally:
+                    handle.close()
+
+            threads = [
+                threading.Thread(target=contend, args=(idx,))
+                for idx in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(wins) == 1, f"round {round_idx}: winners {wins}"
+
+    def test_lease_history_invisible_to_store_identity(
+        self, tmp_path, backend
+    ):
+        """Claim/renew/release/reap churn must never show up in the
+        identity comparison (tree bytes / logical rows)."""
+        plain = store_path(tmp_path, backend, "plain")
+        run_sweep(_grid(), plain)
+        churned = store_path(tmp_path, backend, "churned")
+        run_sweep(_grid(), churned)
+        with open_store(churned) as store:
+            names = [name for name, _p, _w in store.iter_cells()]
+            assert store.claim_cell(names[0], "ghost", 0.05)
+            assert store.claim_cell(names[1], "worker", 60.0)
+            assert store.renew_lease(names[1], "worker", 60.0)
+            store.release_cell(names[1], "worker")
+            time.sleep(0.1)
+            store.reap_leases()
+            assert store.active_leases() == {}
+        assert _snapshot(plain, backend) == _snapshot(churned, backend)
+        assert diff_stores(plain, churned) == []
+
+    def test_discard_stray_tmp(self, tmp_path, backend):
+        """JSON removes killed writers' tmp residue; SQLite has none."""
+        store = self._prepared(tmp_path, backend)
+        name = store.write_payload(_seed_payloads()[0])
+        if backend == "json":
+            (store.cells_dir / "victim.json.tmp").write_text("{half")
+            store.leases_dir.mkdir(parents=True, exist_ok=True)
+            (store.leases_dir / "x.lease.deadbeef.tmp").write_text("{")
+            removed = store.discard_stray_tmp()
+            assert sorted(removed) == [
+                "cells/victim.json.tmp",
+                "leases/x.lease.deadbeef.tmp",
+            ]
+        assert store.discard_stray_tmp() == []
+        loaded, problem = store.load_cell(name)
+        assert problem is None and loaded is not None
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# JSON cell walk is listdir-order independent (satellite bugfix)
+# ----------------------------------------------------------------------
+class TestJsonIterOrder:
+    def _populated(self, tmp_path):
+        store = JsonStore(tmp_path / "store")
+        store.prepare(
+            {"schema": SWEEP_SCHEMA_VERSION, "surfaces": {}}, False
+        )
+        names = [store.write_payload(p) for p in _seed_payloads()]
+        return store, names
+
+    @pytest.mark.parametrize("scramble", ["reversed", "shuffled"])
+    def test_iter_cells_ignores_listdir_order(
+        self, tmp_path, monkeypatch, scramble
+    ):
+        import random
+
+        store, names = self._populated(tmp_path)
+        real_listdir = os.listdir
+
+        def scrambled(path):
+            entries = list(real_listdir(path))
+            if scramble == "reversed":
+                entries.reverse()
+            else:
+                random.Random(0).shuffle(entries)
+            return entries
+
+        monkeypatch.setattr(os, "listdir", scrambled)
+        iterated = [name for name, _p, _w in store.iter_cells()]
+        assert iterated == sorted(names)
+        store.close()
+
+    def test_prefix_stems_sort_by_cell_id_not_filename(self, tmp_path):
+        """`a.json` vs `a-b.json`: filename order puts `a-b` first
+        (`-` < `.`), cell-id order puts `a` first — the walk must use
+        cell-id order, matching the SQLite backend row for row."""
+        from repro.engine.store import canonical_dumps
+
+        store = JsonStore(tmp_path / "store")
+        store.prepare(
+            {"schema": SWEEP_SCHEMA_VERSION, "surfaces": {}}, False
+        )
+        for stem in ("a", "a-b"):
+            payload = build_payload(
+                "s", (stem,), ("x",), "b" * 40, {"quality": 1.0}
+            )
+            (store.cells_dir / f"{stem}.json").write_text(
+                canonical_dumps(payload)
+            )
+        iterated = [name for name, _p, problem in store.iter_cells()]
+        assert iterated == ["a", "a-b"]
+        assert all(
+            problem is None for _n, _p, problem in store.iter_cells()
+        )
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Fork safety of the cached SQLite connection (satellite bugfix)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no fork start method",
+)
+class TestSqliteForkSafety:
+    def test_child_reopens_inherited_connection(self, tmp_path):
+        """A store handle that crosses a fork() must lazily discard the
+        inherited sqlite3.Connection and reopen in the child; both
+        sides keep writing with no `database is locked` and no
+        corruption."""
+        path = store_path(tmp_path, "sqlite")
+        store = open_store(path)
+        store.prepare(
+            {"schema": SWEEP_SCHEMA_VERSION, "surfaces": {}}, False
+        )
+        payloads = _seed_payloads()
+        store.write_payload(payloads[0])  # connection now open and cached
+        assert store._conn is not None
+        context = multiprocessing.get_context("fork")
+        queue = context.SimpleQueue()
+
+        def child():
+            try:
+                name = store.write_payload(payloads[1])
+                loaded, problem = store.load_cell(name)
+                assert problem is None and loaded == payloads[1]
+                assert store._conn_pid == os.getpid()
+                assert store.claim_cell(name, "child", 30.0)
+                store.release_cell(name, "child")
+                queue.put("ok")
+            except BaseException as error:
+                queue.put(repr(error))
+
+        process = context.Process(target=child)
+        process.start()
+        process.join(timeout=120)
+        assert process.exitcode == 0
+        assert not queue.empty()
+        assert queue.get() == "ok"
+        # The parent's connection survives the child's exit (the
+        # child's close of its duplicate descriptors must not release
+        # the parent's locks or tear its view).
+        name = store.write_payload(payloads[2])
+        loaded, problem = store.load_cell(name)
+        assert problem is None and loaded == payloads[2]
+        assert store.count_cells() == 3
+        assert store.active_leases() == {}
+        store.close()
+
+    def test_processes_backend_sweep_forks_mid_run(self, tmp_path):
+        """Regression: the `processes` execution backend forks pool
+        workers while the sweep's SQLite connection is open; the sweep
+        must land the same cells as a serial run (manifest differs by
+        the backend field, so compare cells/values only)."""
+        serial = store_path(tmp_path, "sqlite", "serial")
+        run_sweep(_grid(), serial)
+        forked = store_path(tmp_path, "sqlite", "forked")
+        run_sweep(_grid(backend="processes", n_jobs=2), forked)
+        serial_rows = _sqlite_rows(serial)
+        forked_rows = _sqlite_rows(forked)
+        assert serial_rows["cells"] == forked_rows["cells"]
+        assert serial_rows["values"] == forked_rows["values"]
+
+
+# ----------------------------------------------------------------------
+# Migration failure cleanup (satellite bugfix)
+# ----------------------------------------------------------------------
+class TestMigrationCleanup:
+    def _populated(self, tmp_path, backend, name="src"):
+        path = store_path(tmp_path, backend, name)
+        run_sweep(_grid(), path)
+        return path
+
+    def test_mid_copy_failure_removes_partial_destination(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash after N copied cells must not leave a partial store
+        that blocks (`prepare` refusal) every retry."""
+        source = self._populated(tmp_path, "json")
+        destination = tmp_path / "dst.sqlite"
+        original = SqliteStore.write_payload
+        calls = {"count": 0}
+
+        def bomb(self, payload):
+            if calls["count"] >= 2:
+                raise RuntimeError("disk full (simulated)")
+            calls["count"] += 1
+            return original(self, payload)
+
+        monkeypatch.setattr(SqliteStore, "write_payload", bomb)
+        with pytest.raises(RuntimeError, match="disk full"):
+            migrate_store(source, destination)
+        assert not destination.exists()
+        assert not Path(str(destination) + "-wal").exists()
+        # The retry starts from a clean slate and succeeds.
+        monkeypatch.setattr(SqliteStore, "write_payload", original)
+        report = migrate_store(source, destination)
+        assert len(report.cells) == 6
+        assert diff_stores(source, destination) == []
+
+    def test_verification_failure_removes_partial_destination(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.engine.store.migrate as migrate_module
+
+        source = self._populated(tmp_path, "sqlite")
+        destination = tmp_path / "dst"
+
+        def failing_verify(src, dst, payloads):
+            raise SweepStoreError("verification failed (simulated)")
+
+        monkeypatch.setattr(migrate_module, "_verify", failing_verify)
+        with pytest.raises(SweepStoreError, match="verification failed"):
+            migrate_store(source, destination)
+        assert not destination.exists()
+
+    def test_refused_existing_destination_is_not_deleted(self, tmp_path):
+        """The cleanup only covers destinations *we* wrote: a populated
+        store refused by prepare() must survive the refusal intact."""
+        source = self._populated(tmp_path, "json")
+        destination = self._populated(tmp_path, "sqlite", "dst")
+        before = _sqlite_rows(destination)
+        with pytest.raises(SweepStoreError, match="resume"):
+            migrate_store(source, destination)
+        assert destination.exists()
+        assert _sqlite_rows(destination) == before
+
+
+# ----------------------------------------------------------------------
+# Multi-worker sweep execution (tentpole)
+# ----------------------------------------------------------------------
+class TestMultiWorkerSweep:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_worker_mode_equals_run_sweep(self, tmp_path, backend):
+        """Worker mode on a fresh store: one pass, same store bytes and
+        same reports as a plain run_sweep, zero lease state behind."""
+        reference = store_path(tmp_path, backend, "reference")
+        run_sweep(_grid(), reference)
+        worked = store_path(tmp_path, backend, "worked")
+        outcome = run_sweep_worker(
+            _grid(), worked, worker_id="test:solo", max_passes=1
+        )
+        assert outcome.passes == 1
+        assert len(outcome.executed) == 6
+        assert not outcome.deferred
+        assert _snapshot(reference, backend) == _snapshot(worked, backend)
+        with open_store(worked, backend=backend) as store:
+            assert store.active_leases() == {}
+        table2, table3 = _direct_reports()
+        for key, cell in table2.cells.items():
+            assert outcome.table2.cells[key].theta == cell.theta
+        for key, quality in table3.quality.items():
+            assert outcome.table3.quality[key] == quality
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_foreign_lease_defers_then_expires_and_reclaims(
+        self, tmp_path, backend
+    ):
+        """A dead worker's live-looking lease defers its cell; once the
+        lease expires a surviving worker steals it, re-runs the cell,
+        and the store equals an uninterrupted single-worker run."""
+        reference = store_path(tmp_path, backend, "reference")
+        run_sweep(_grid(), reference)
+        shared = store_path(tmp_path, backend, "shared")
+        run_sweep(_grid(), shared)
+        victim = cell_id("table2", ("iris", "normal"), ("UKM",))
+        # Simulate a worker that died mid-cell: payload never written,
+        # lease still ticking.
+        if backend == "json":
+            (shared / "cells" / f"{victim}.json").unlink()
+        else:
+            conn = sqlite3.connect(str(shared))
+            with conn:
+                conn.execute(
+                    "DELETE FROM cells WHERE cell_id = ?", (victim,)
+                )
+                conn.execute(
+                    "DELETE FROM cell_values WHERE cell_id = ?", (victim,)
+                )
+            conn.close()
+        with open_store(shared, backend=backend) as store:
+            assert store.claim_cell(victim, "dead-worker", 2.5)
+        lines: list = []
+        outcome = run_sweep_worker(
+            _grid(),
+            shared,
+            worker_id="test:survivor",
+            lease_ttl=5.0,
+            poll_interval=0.1,
+            progress=lines.append,
+            max_passes=200,
+        )
+        assert outcome.executed == [victim]
+        assert any("deferred" in line for line in lines)
+        assert outcome.passes >= 2
+        assert _snapshot(reference, backend) == _snapshot(shared, backend)
+        with open_store(shared, backend=backend) as store:
+            assert store.active_leases() == {}
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_two_workers_one_sigkilled_identical(self, tmp_path, backend):
+        """Acceptance: a 2-process cluster on one store — with one
+        worker SIGKILLed mid-grid and its leases reclaimed — produces a
+        store identical to the uninterrupted single-worker reference."""
+        reference = store_path(tmp_path, backend, "reference")
+        run_sweep(_grid(), reference)
+        shared = store_path(tmp_path, backend, "shared")
+        grid = _grid()
+        context = multiprocessing.get_context("spawn")
+        workers = [
+            context.Process(
+                target=_worker_main,
+                args=(grid, str(shared), backend, f"test:{tag}", 2.0, 0.1),
+            )
+            for tag in ("victim", "survivor")
+        ]
+        for process in workers:
+            process.start()
+        victim, survivor = workers
+        time.sleep(1.5)
+        victim.kill()  # SIGKILL: no cleanup, leases left ticking
+        victim.join()
+        survivor.join(timeout=300)
+        assert not survivor.is_alive()
+        assert survivor.exitcode == 0
+        # The collection pass (what run_sweep_workers runs after the
+        # join) finishes anything the victim left behind and reaps.
+        outcome = run_sweep_worker(
+            grid,
+            shared,
+            worker_id="test:collector",
+            lease_ttl=2.0,
+            poll_interval=0.1,
+            store_backend=backend,
+            max_passes=200,
+        )
+        with open_store(shared, backend=backend) as store:
+            store.discard_stray_tmp()
+            assert store.active_leases() == {}
+        assert _snapshot(reference, backend) == _snapshot(shared, backend)
+        table2, table3 = _direct_reports()
+        for key, cell in table2.cells.items():
+            assert outcome.table2.cells[key].theta == cell.theta
+        for key, quality in table3.quality.items():
+            assert outcome.table3.quality[key] == quality
+
+    def test_run_sweep_workers_end_to_end(self, tmp_path):
+        """The orchestrated path: spawn N children, join, collect."""
+        reference = store_path(tmp_path, "json", "reference")
+        run_sweep(_grid(), reference)
+        shared = store_path(tmp_path, "json", "shared")
+        outcome = run_sweep_workers(
+            _grid(), shared, workers=2, lease_ttl=5.0, poll_interval=0.1
+        )
+        assert _tree_bytes(reference) == _tree_bytes(shared)
+        table2, _table3 = _direct_reports()
+        for key, cell in table2.cells.items():
+            assert outcome.table2.cells[key].theta == cell.theta
+        with pytest.raises(InvalidParameterError, match="workers"):
+            run_sweep_workers(_grid(), shared, workers=0)
+
+
+# ----------------------------------------------------------------------
+# CLI: --workers / --join / store diff
+# ----------------------------------------------------------------------
+class TestCLIMultiWorker:
+    def _sweep_args(self, extra):
+        return [
+            "sweep",
+            "--quick",
+            "--surfaces",
+            "table2",
+            "--runs",
+            "1",
+            *extra,
+        ]
+
+    def test_sweep_requires_store_or_join(self, capsys):
+        from repro.cli import main
+
+        assert main(self._sweep_args([])) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_join_mode_runs_then_reuses(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = tmp_path / "shared"
+        assert main(self._sweep_args(["--join", str(store)])) == 0
+        assert "sweep complete" in capsys.readouterr().out
+        # A second worker joining the finished store reuses everything.
+        assert main(self._sweep_args(["--join", str(store)])) == 0
+        assert "0 cells run, 2 reused" in capsys.readouterr().out
+
+    def test_workers_flag_matches_single_worker_store(self, tmp_path):
+        from repro.cli import main
+
+        reference = tmp_path / "reference"
+        assert main(self._sweep_args(["--store", str(reference)])) == 0
+        shared = tmp_path / "shared"
+        assert (
+            main(
+                self._sweep_args(
+                    [
+                        "--store",
+                        str(shared),
+                        "--workers",
+                        "2",
+                        "--lease-ttl",
+                        "5",
+                    ]
+                )
+            )
+            == 0
+        )
+        assert _tree_bytes(reference) == _tree_bytes(shared)
+
+    def test_store_diff_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        left = tmp_path / "left"
+        assert main(self._sweep_args(["--store", str(left)])) == 0
+        twin = tmp_path / "twin.sqlite"
+        assert main(["store", "migrate", str(left), str(twin)]) == 0
+        capsys.readouterr()
+        assert main(["store", "diff", str(left), str(twin)]) == 0
+        assert "stores identical" in capsys.readouterr().out
+        other = tmp_path / "other"
+        assert (
+            main(self._sweep_args(["--store", str(other), "--seed", "9"]))
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["store", "diff", str(left), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "stores differ" in out
+        assert main(["store", "diff", str(left), str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
