@@ -38,7 +38,12 @@ Pins the claims the engine layer makes:
   cells off one shared store) finishes a compute-dominated small grid
   >= 1.6x faster than a single worker on parallel hardware — asserted
   when >= 2 cores are available, always with a store logically
-  identical to the single-worker run's.
+  identical to the single-worker run's;
+* the million-object scale path: Elkan-bounded UK-means reproduces
+  ``BasicUKMeans`` bit for bit at n=100_000 (S=32, m=8, k=20) while
+  running >= 2x faster (measured ~5x on the reference box), and the
+  bound counters prove >= 50% of assignment-row ED evaluations are
+  skipped at n=20_000.
 """
 
 from __future__ import annotations
@@ -611,4 +616,98 @@ def test_density_speedup_floor(density_data):
     assert speedup >= 3.0, (
         f"density port speedup {speedup:.1f}x below the 3x floor "
         f"(ported {ported_time * 1e3:.0f} ms, legacy {legacy_time * 1e3:.0f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Million-object scale path: Elkan bounds vs the full Lloyd ED pass.
+# ----------------------------------------------------------------------
+SCALE_N = 100_000
+SCALE_SMOKE_N = 20_000
+SCALE_K = 20
+SCALE_S = 32
+SCALE_M = 8
+SCALE_ITERS = 5  # enough post-warmup iterations for the bounds to pay
+
+
+def _scale_dataset(n):
+    return make_blobs_uncertain(
+        n_objects=n,
+        n_clusters=SCALE_K,
+        n_attributes=SCALE_M,
+        separation=3.0,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def scale_smoke_data():
+    return _scale_dataset(SCALE_SMOKE_N)
+
+
+def test_bounded_ukmeans_smoke(benchmark, scale_smoke_data):
+    from repro.clustering import BoundedUKMeans
+
+    benchmark.group = "scale-path"
+    model = BoundedUKMeans(SCALE_K, n_samples=SCALE_S, max_iter=SCALE_ITERS)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        benchmark(model.fit, scale_smoke_data, 0)
+
+
+def test_basic_ukmeans_smoke(benchmark, scale_smoke_data):
+    benchmark.group = "scale-path"
+    model = BasicUKMeans(SCALE_K, n_samples=SCALE_S, max_iter=SCALE_ITERS)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        benchmark(model.fit, scale_smoke_data, 0)
+
+
+def test_bounded_ukmeans_skip_counter_floor(scale_smoke_data):
+    """Acceptance pin: at n=20_000 the Elkan bounds skip >= 50% of the
+    assignment-row ED evaluations — counter-asserted, not inferred
+    from wall clock — while the labels stay exactly Basic's."""
+    from repro.clustering import BoundedUKMeans
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        bounded = BoundedUKMeans(
+            SCALE_K, n_samples=SCALE_S, max_iter=SCALE_ITERS
+        ).fit(scale_smoke_data, seed=0)
+        basic = BasicUKMeans(
+            SCALE_K, n_samples=SCALE_S, max_iter=SCALE_ITERS
+        ).fit(scale_smoke_data, seed=0)
+    np.testing.assert_array_equal(basic.labels, bounded.labels)
+    extras = bounded.extras
+    total = bounded.n_iterations * SCALE_SMOKE_N * SCALE_K
+    assert extras["ed_evaluations"] + extras["ed_skipped"] == total
+    assert extras["skip_rate"] >= 0.5, (
+        f"skip rate {extras['skip_rate']:.3f} below the 0.5 floor "
+        f"({extras['ed_evaluations']} of {total} EDs evaluated)"
+    )
+
+
+def test_bounded_ukmeans_scale_speedup_floor():
+    """Acceptance pin: at n=100_000 (S=32, m=8, k=20) Elkan-bounded
+    UK-means runs >= 2x faster than BasicUKMeans over the same
+    iterations — with bit-identical labels, because every compared ED
+    goes through the literal Basic kernel and all pruning tests are
+    strict inequalities on exact mean-plane distances."""
+    from repro.clustering import BoundedUKMeans
+
+    data = _scale_dataset(SCALE_N)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        bounded = BoundedUKMeans(
+            SCALE_K, n_samples=SCALE_S, max_iter=SCALE_ITERS
+        ).fit(data, seed=0)
+        basic = BasicUKMeans(
+            SCALE_K, n_samples=SCALE_S, max_iter=SCALE_ITERS
+        ).fit(data, seed=0)
+    np.testing.assert_array_equal(basic.labels, bounded.labels)
+    speedup = basic.runtime_seconds / bounded.runtime_seconds
+    assert speedup >= 2.0, (
+        f"bounded UK-means speedup {speedup:.2f}x below the 2x floor "
+        f"(bounded {bounded.runtime_seconds:.1f} s, "
+        f"basic {basic.runtime_seconds:.1f} s)"
     )

@@ -27,7 +27,11 @@ The measurement roster mirrors ``benchmarks/bench_engine.py``:
 * the multi-worker sweep: one compute-dominated small grid run by a
   single worker vs two claim-based worker processes leasing cells off
   one shared store (speedup only materializes on >= 2 cores; the
-  single-core record documents the coordination overhead instead).
+  single-core record documents the coordination overhead instead);
+* the million-object scale path at n=20_000 (S=32, m=8, k=20):
+  Elkan-bounded UK-means vs the full BasicUKMeans Lloyd pass (same
+  seeds, bit-identical labels — the record carries the measured
+  speedup and ED skip rate) plus the lossy mini-batch UK-means fit.
 
 Timings are best-of-``repeats`` wall clock; the JSON also records the
 machine shape (cores, python, numpy) so numbers are comparable only
@@ -63,7 +67,7 @@ from repro.objects import UncertainDataset, UncertainObject
 from repro.utils.rng import ensure_rng
 
 #: Bumped whenever a measurement's name or meaning changes.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: The fixed measurement roster.  ``run_benchmarks`` must emit exactly
 #: these names; the overwrite guard in :func:`main` compares an existing
@@ -85,6 +89,9 @@ MEASUREMENT_NAMES = (
     "store_aggregate_json",
     "sweep_single_worker",
     "sweep_two_workers",
+    "bounded_ukmeans_elkan",
+    "bounded_ukmeans_basic_reference",
+    "minibatch_ukmeans_fit",
 )
 
 
@@ -426,6 +433,67 @@ def run_benchmarks(quick: bool = False) -> List[Dict[str, object]]:
         n_runs=sweep_runs,
         workers=2,
         speedup=sweep_single / sweep_double,
+    )
+
+    # --- million-object scale path -----------------------------------
+    from repro.clustering import BoundedUKMeans, MiniBatchUKMeans
+
+    n_bound = int(20000 * scale)
+    bound_k = 20
+    bound_s = 32
+    bound_iters = 5
+    bound_data = make_blobs_uncertain(
+        n_objects=n_bound, n_clusters=bound_k, n_attributes=8,
+        separation=3.0, seed=42,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        bounded_result = BoundedUKMeans(
+            bound_k, n_samples=bound_s, max_iter=bound_iters
+        ).fit(bound_data, seed=0)
+        bounded = _best_of(
+            lambda: BoundedUKMeans(
+                bound_k, n_samples=bound_s, max_iter=bound_iters
+            ).fit(bound_data, seed=0),
+            repeats,
+        )
+        basic = _best_of(
+            lambda: BasicUKMeans(
+                bound_k, n_samples=bound_s, max_iter=bound_iters
+            ).fit(bound_data, seed=0),
+            repeats,
+        )
+        minibatch = _best_of(
+            lambda: MiniBatchUKMeans(bound_k, batch_size=1024).fit(
+                bound_data, seed=0
+            ),
+            repeats,
+        )
+    record(
+        "bounded_ukmeans_elkan",
+        bounded,
+        n=n_bound,
+        S=bound_s,
+        m=8,
+        k=bound_k,
+        speedup=basic / bounded,
+        skip_rate=bounded_result.extras["skip_rate"],
+    )
+    record(
+        "bounded_ukmeans_basic_reference",
+        basic,
+        n=n_bound,
+        S=bound_s,
+        m=8,
+        k=bound_k,
+    )
+    record(
+        "minibatch_ukmeans_fit",
+        minibatch,
+        n=n_bound,
+        S=bound_s,
+        m=8,
+        k=bound_k,
     )
 
     # --- hierarchical ------------------------------------------------

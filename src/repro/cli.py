@@ -56,6 +56,25 @@ def _batch_size_arg(value: str):
     return parsed
 
 
+def _lease_ttl_arg(value: str):
+    """--lease-ttl values: a float no smaller than MIN_LEASE_TTL."""
+    from repro.engine.sweep import MIN_LEASE_TTL
+
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"lease ttl must be a number of seconds, got {value!r}"
+        ) from None
+    if parsed < MIN_LEASE_TTL:
+        raise argparse.ArgumentTypeError(
+            f"lease ttl must be >= {MIN_LEASE_TTL}s (shorter than the "
+            "clamped heartbeat interval allows a healthy worker's lease "
+            f"to expire between renewals), got {parsed}"
+        )
+    return parsed
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--runs", type=int, default=5, help="runs per cell")
     parser.add_argument("--seed", type=int, default=2012, help="master seed")
@@ -403,7 +422,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         n_objects=150, n_clusters=3, separation=6.0, seed=args.seed
     )
     rows = []
-    for name in ACCURACY_ROSTER:
+    for name in args.algorithms:
         algorithm = build_algorithm(name, n_clusters=3, n_samples=16)
         # Objective-less algorithms (FDB/FOPT/UAHC) cannot rank restarts,
         # so best-of-n would burn n fits and keep the first — skip it.
@@ -510,7 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument(
         "--lease-ttl",
-        type=float,
+        type=_lease_ttl_arg,
         default=30.0,
         help="seconds a cell lease lives between heartbeats; a dead "
         "worker's cells are reclaimed after this long",
@@ -650,6 +669,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     pd = sub.add_parser("demo", help="one-minute algorithm comparison")
     pd.add_argument("--seed", type=int, default=0)
+    pd.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(ACCURACY_ROSTER),
+        help="algorithm abbreviations to compare (default: the paper's "
+        "accuracy roster; scale-path variants bUKM-EH and MB-UKM are "
+        "also accepted)",
+    )
     pd.add_argument(
         "--n-init",
         type=int,

@@ -16,6 +16,7 @@ from repro.clustering.initialization import (
     random_seed_indices,
 )
 from repro.clustering.kmeans import KMeans
+from repro.clustering.minibatch import MiniBatchUKMeans
 from repro.clustering.mmvar import MMVar
 from repro.clustering.objectives import (
     j_hat,
@@ -32,6 +33,7 @@ from repro.clustering.ucpc import UCPC
 from repro.clustering.ucpc_variants import UCPCLloyd, VarianceOnlyClustering
 from repro.clustering.ukmeans import UKMeans, ukmeans_objective
 from repro.clustering.ukmeans_basic import BasicUKMeans
+from repro.clustering.ukmeans_bounded import BoundedUKMeans
 from repro.clustering.ukmedoids import UKMedoids
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "random_partition",
     "random_seed_indices",
     "KMeans",
+    "MiniBatchUKMeans",
     "MMVar",
     "j_hat",
     "j_mm",
@@ -67,5 +70,6 @@ __all__ = [
     "UKMeans",
     "ukmeans_objective",
     "BasicUKMeans",
+    "BoundedUKMeans",
     "UKMedoids",
 ]

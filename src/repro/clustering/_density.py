@@ -31,7 +31,7 @@ per call — with two deliberately different inner kernels:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -146,3 +146,227 @@ def expected_distance_matrix(
             out[i0:i1, r0:r1] = dist.T
     np.fill_diagonal(out, 0.0)
     return out
+
+
+# ----------------------------------------------------------------------
+# Candidate-capped (sub-quadratic-memory) kernels
+# ----------------------------------------------------------------------
+# The capped density path never materializes an (n, n) matrix: a cheap
+# prefilter on the objects' *sample means* produces an explicit
+# candidate-pair list, and the exact matched-pair kernels run gathered
+# over those pairs only.  For FDBSCAN the prefilter is *correct by the
+# triangle inequality*: with r_i the object's sample radius (largest
+# sample deviation from its sample mean), every matched sample pair of
+# (i, j) satisfies ``||x_is - x_js|| >= ||mu_i - mu_j|| - r_i - r_j``,
+# so ``||mu_i - mu_j|| > eps + r_i + r_j`` implies Pr(d_ij <= eps) is
+# *exactly zero* — pruned pairs contribute nothing to expected neighbor
+# counts or reachability edges.
+
+#: Relative slack added to the candidate-pair threshold so float
+#: round-off in the prefilter's own distance arithmetic can only ever
+#: admit extra pairs (harmless), never prune a boundary pair.
+PREFILTER_RELATIVE_SLACK: float = 1e-9
+
+
+def sample_radii(samples: FloatArray, block: Optional[int] = None) -> FloatArray:
+    """Per-object sample radius ``r_i = max_s ||x_is - mean_s(x_is)||``.
+
+    ``samples`` has shape ``(n, S, m)``.  Computed in row blocks bounded
+    by :data:`DENSITY_BLOCK_ELEMENTS` (an ``(B, S, m)`` difference
+    temporary per block).
+    """
+    n, n_samples, m = samples.shape
+    width = _block_width(n_samples * m, n, block)
+    out = np.empty(n)
+    means = samples.mean(axis=1)
+    for i0 in range(0, n, width):
+        i1 = min(i0 + width, n)
+        diff = samples[i0:i1] - means[i0:i1, None, :]
+        out[i0:i1] = np.sqrt(
+            np.einsum("bsm,bsm->bs", diff, diff)
+        ).max(axis=1)
+    return out
+
+
+def eps_candidate_pairs(
+    means: FloatArray,
+    radii: FloatArray,
+    eps: float,
+    block: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pairs ``(i < j)`` that can have ``Pr(d_ij <= eps) > 0``.
+
+    A pair survives when ``||mu_i - mu_j|| <= eps + r_i + r_j`` (plus
+    :data:`PREFILTER_RELATIVE_SLACK`, so the prefilter errs on the side
+    of keeping pairs); every pruned pair has all matched sample
+    distances strictly above ``eps`` and hence an exactly-zero
+    within-eps probability.  Returns two equal-length int64 index
+    arrays, lexicographically ordered.
+    """
+    n, m = means.shape
+    width = _block_width(n * m, n, block)
+    ii_parts = []
+    jj_parts = []
+    for i0 in range(0, n, width):
+        i1 = min(i0 + width, n)
+        diff = means[i0:i1, None, :] - means[None, :, :]
+        dist = np.sqrt(np.einsum("bnm,bnm->bn", diff, diff))
+        threshold = eps + radii[i0:i1, None] + radii[None, :]
+        threshold += PREFILTER_RELATIVE_SLACK * np.abs(threshold)
+        local_i, local_j = np.nonzero(dist <= threshold)
+        gi = local_i + i0
+        keep = local_j > gi
+        ii_parts.append(gi[keep].astype(np.int64))
+        jj_parts.append(local_j[keep].astype(np.int64))
+    if not ii_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(ii_parts), np.concatenate(jj_parts)
+
+
+def gathered_pair_probabilities(
+    samples: FloatArray,
+    eps: float,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    block: Optional[int] = None,
+) -> FloatArray:
+    """``Pr(||X_i - X_j|| <= eps)`` for an explicit pair list.
+
+    Matched-pair Monte-Carlo estimate via the *difference* kernel (not
+    the GEMM expansion): ulp-level value differences against the dense
+    kernel are absorbed by FDBSCAN's thresholding, exactly the accepted
+    hazard class of the dense GEMM kernel itself (both are pinned by
+    label-equivalence regressions).
+    """
+    n_pairs = int(ii.size)
+    _, n_samples, m = samples.shape
+    eps_sq = eps * eps
+    width = _block_width(n_samples * m, max(1, n_pairs), block)
+    out = np.empty(n_pairs)
+    for p0 in range(0, n_pairs, width):
+        p1 = min(p0 + width, n_pairs)
+        diff = samples[ii[p0:p1]] - samples[jj[p0:p1]]
+        d2 = np.einsum("psm,psm->ps", diff, diff)
+        out[p0:p1] = np.count_nonzero(d2 <= eps_sq, axis=1) / n_samples
+    return out
+
+
+def gathered_pair_expected_distances(
+    samples: FloatArray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    block: Optional[int] = None,
+) -> FloatArray:
+    """Monte-Carlo ``E[||X_i - X_j||]`` for an explicit pair list.
+
+    Bit-identical to the corresponding :func:`expected_distance_matrix`
+    entries: the same per-(pair, sample) difference/``m``-reduction and
+    the same length-``S`` mean reduction tree, evaluated independently
+    per pair — FOPTICS's ordering loop compares these values directly,
+    so gathered and dense paths must never disagree on a near-tie.
+    """
+    n_pairs = int(ii.size)
+    _, n_samples, m = samples.shape
+    width = _block_width(n_samples * m, max(1, n_pairs), block)
+    out = np.empty(n_pairs)
+    for p0 in range(0, n_pairs, width):
+        p1 = min(p0 + width, n_pairs)
+        diff = samples[ii[p0:p1]] - samples[jj[p0:p1]]
+        out[p0:p1] = np.sqrt(
+            np.einsum("psm,psm->ps", diff, diff)
+        ).mean(axis=1)
+    return out
+
+
+def knn_candidate_indices(
+    means: FloatArray, k_neighbors: int, block: Optional[int] = None
+) -> np.ndarray:
+    """``(n, k_neighbors)`` nearest neighbors by sample-mean distance.
+
+    Self-neighbors are excluded.  This is a *candidate selector* for
+    the lossy kNN-capped FOPTICS path (selection by expected position
+    is not selection by expected distance), so the fast GEMM expansion
+    is used; within-row order of the returned indices is unspecified.
+    """
+    n, m = means.shape
+    if not 1 <= k_neighbors <= n - 1:
+        raise InvalidParameterError(
+            f"k_neighbors must be in [1, n-1] = [1, {n - 1}], got {k_neighbors}"
+        )
+    width = _block_width(n, n, block)
+    sq = np.einsum("nm,nm->n", means, means)
+    out = np.empty((n, k_neighbors), dtype=np.int64)
+    for i0 in range(0, n, width):
+        i1 = min(i0 + width, n)
+        dist = sq[i0:i1, None] - 2.0 * (means[i0:i1] @ means.T) + sq[None, :]
+        dist[np.arange(i1 - i0), np.arange(i0, i1)] = np.inf
+        out[i0:i1] = np.argpartition(dist, k_neighbors - 1, axis=1)[
+            :, :k_neighbors
+        ]
+    return out
+
+
+def scattered_row_sums(
+    n: int,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    values: FloatArray,
+    diagonal: float = 1.0,
+    block: Optional[int] = None,
+) -> FloatArray:
+    """Row sums of a symmetric sparse matrix, bitwise the dense sums.
+
+    ``(ii, jj, values)`` is an undirected pair list (``i < j``, unique);
+    absent entries are exact zeros and the diagonal is ``diagonal``.
+    A plain scatter-add would accumulate each row in neighbor-count
+    order and drift ulps away from the dense ``matrix.sum(axis=1)`` —
+    enough to flip an object sitting exactly on FDBSCAN's ``min_pts``
+    core threshold.  Instead each block of rows is materialized densely
+    (zeros + scattered values) and reduced with NumPy's length-``n``
+    pairwise tree, the *same* reduction the dense path applies, so the
+    sums are bit-identical whenever the entry values are.
+    """
+    src = np.concatenate([ii, jj])
+    dst = np.concatenate([jj, ii])
+    val = np.concatenate([values, values])
+    order = np.lexsort((dst, src))
+    src, dst, val = src[order], dst[order], val[order]
+    offsets = np.concatenate(
+        [[0], np.cumsum(np.bincount(src, minlength=n))]
+    ).astype(np.int64)
+    width = _block_width(n, n, block)
+    out = np.empty(n)
+    buf = np.zeros((width, n))
+    for i0 in range(0, n, width):
+        i1 = min(i0 + width, n)
+        b = i1 - i0
+        buf[:b] = 0.0
+        counts = np.diff(offsets[i0:i1 + 1])
+        rows = np.repeat(np.arange(b), counts)
+        chunk = slice(offsets[i0], offsets[i1])
+        buf[rows, dst[chunk]] = val[chunk]
+        buf[np.arange(b), np.arange(i0, i1)] = diagonal
+        out[i0:i1] = buf[:b].sum(axis=1)
+    return out
+
+
+def symmetric_adjacency(
+    n: int, ii: np.ndarray, jj: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR-style ``(offsets, neighbors)`` for an undirected pair list.
+
+    Both directions of every pair are materialized and neighbors are
+    sorted ascending per row — sparse traversals then visit nodes in
+    exactly the order a dense ``np.flatnonzero`` row scan would.
+    Returns ``offsets`` of shape ``(n + 1,)`` and the flat ``neighbors``
+    array; row ``i`` is ``neighbors[offsets[i]:offsets[i + 1]]``.
+    """
+    src = np.concatenate([ii, jj])
+    dst = np.concatenate([jj, ii])
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    counts = np.bincount(src, minlength=n)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return offsets, dst

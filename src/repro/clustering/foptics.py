@@ -24,6 +24,10 @@ import numpy as np
 
 from repro._typing import SeedLike
 from repro.clustering import _density
+from repro.clustering._density import (
+    gathered_pair_expected_distances,
+    knn_candidate_indices,
+)
 from repro.clustering._sampling import SampleCacheMixin
 from repro.clustering.base import ClusteringResult, UncertainClusterer
 from repro.exceptions import InvalidParameterError
@@ -42,6 +46,79 @@ def expected_distance_matrix(
     automatic block width.
     """
     return _density.expected_distance_matrix(samples, block=block)
+
+
+def cluster_ordering_sparse(
+    offsets: np.ndarray,
+    neighbors: np.ndarray,
+    neighbor_dists: np.ndarray,
+    core_dist: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """OPTICS core loop over a CSR distance graph.
+
+    Same control flow as :func:`cluster_ordering` — one dense pending
+    array, masked argmin per step (so near-tie resolution is identical)
+    — but reachability updates touch only the current object's graph
+    neighbors.  With the complete graph (``knn_cap = n - 1``) this is
+    bitwise the dense loop; with a capped graph, objects outside the
+    neighbor set simply never receive updates through the current
+    object (the lossy approximation the cap buys its memory bound
+    with).
+    """
+    n = offsets.shape[0] - 1
+    processed = np.zeros(n, dtype=bool)
+    reachability = np.full(n, np.inf)
+    ordering = np.empty(n, dtype=np.int64)
+    position = 0
+    pending = np.full(n, np.inf)
+    for start in range(n):
+        if processed[start]:
+            continue
+        pending[start] = 0.0
+        while True:
+            masked = np.where(processed, np.inf, pending)
+            current = int(np.argmin(masked))
+            if not np.isfinite(masked[current]):
+                break
+            processed[current] = True
+            reachability[current] = (
+                pending[current] if position > 0 else np.inf
+            )
+            if pending[current] == 0.0:
+                reachability[current] = np.inf  # ordering seed
+            ordering[position] = current
+            position += 1
+            row = slice(offsets[current], offsets[current + 1])
+            nbr = neighbors[row]
+            new_reach = np.maximum(core_dist[current], neighbor_dists[row])
+            improved = (~processed[nbr]) & (new_reach < pending[nbr])
+            pending[nbr[improved]] = new_reach[improved]
+    return ordering, reachability
+
+
+def knn_core_distances(
+    offsets: np.ndarray,
+    neighbor_dists: np.ndarray,
+    min_pts: int,
+) -> np.ndarray:
+    """Core distances over a CSR distance graph (self counts, d = 0).
+
+    Per object the candidate multiset is ``{0.0} ∪ {distances to graph
+    neighbors}``; with the complete graph this is exactly the dense
+    row, so the ``min_pts``-th order statistic matches
+    :func:`cluster_ordering`'s ``np.partition`` value bitwise.  Objects
+    with fewer than ``min_pts - 1`` neighbors get ``inf`` (they can
+    never anchor a reachability improvement).
+    """
+    n = offsets.shape[0] - 1
+    core = np.full(n, np.inf)
+    for i in range(n):
+        row = neighbor_dists[offsets[i]:offsets[i + 1]]
+        if row.size + 1 < min_pts:
+            continue
+        values = np.concatenate([[0.0], row])
+        core[i] = np.partition(values, min_pts - 1)[min_pts - 1]
+    return core
 
 
 def cluster_ordering(
@@ -122,6 +199,16 @@ class FOPTICS(SampleCacheMixin, UncertainClusterer):
         When given, the cut threshold is bisected until (approximately)
         this many clusters are produced — used by the paper-style
         experiments that fix ``k`` across algorithms.
+    knn_cap:
+        When given, the expected-distance graph is capped at each
+        object's ``knn_cap`` nearest neighbors *by sample-mean
+        distance* (union-symmetrized), and the exact gathered ÊD
+        kernel runs on those edges only — O(n · knn_cap) distances
+        instead of the O(n²) matrix.  This path is **lossy** (nearest
+        by expected position is not nearest by expected distance,
+        and reachability chains cannot cross non-edges), except at
+        ``knn_cap = n - 1`` where it is bitwise the dense ordering.
+        Must be ``>= min_pts`` so core distances stay well-defined.
 
     Notes
     -----
@@ -140,6 +227,7 @@ class FOPTICS(SampleCacheMixin, UncertainClusterer):
         n_samples: int = 32,
         threshold: Optional[float] = None,
         n_clusters: Optional[int] = None,
+        knn_cap: Optional[int] = None,
     ):
         if min_pts < 1:
             raise InvalidParameterError(f"min_pts must be >= 1, got {min_pts}")
@@ -151,10 +239,16 @@ class FOPTICS(SampleCacheMixin, UncertainClusterer):
             raise InvalidParameterError(
                 f"n_clusters must be >= 1, got {n_clusters}"
             )
+        if knn_cap is not None and knn_cap < min_pts:
+            raise InvalidParameterError(
+                f"knn_cap ({knn_cap}) must be >= min_pts ({min_pts}) so "
+                "core distances stay well-defined"
+            )
         self.min_pts = int(min_pts)
         self.n_samples = int(n_samples)
         self.threshold = threshold
         self.n_clusters = n_clusters
+        self.knn_cap = None if knn_cap is None else int(knn_cap)
 
     def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
         """Order ``dataset`` and extract a flat clustering."""
@@ -167,19 +261,62 @@ class FOPTICS(SampleCacheMixin, UncertainClusterer):
         samples = self._draw_samples(dataset, rng)
 
         watch = Stopwatch()
+        extras: dict = {}
         with watch.running():
-            distances = expected_distance_matrix(samples)
-            ordering, reachability = cluster_ordering(distances, min_pts)
+            if self.knn_cap is not None and n > 1:
+                offsets, neighbors, dists, n_edges = self._knn_distance_graph(
+                    samples, min(self.knn_cap, n - 1)
+                )
+                core = knn_core_distances(offsets, dists, min_pts)
+                ordering, reachability = cluster_ordering_sparse(
+                    offsets, neighbors, dists, core
+                )
+                extras["knn_cap"] = self.knn_cap
+                extras["n_graph_edges"] = n_edges
+            else:
+                distances = expected_distance_matrix(samples)
+                ordering, reachability = cluster_ordering(distances, min_pts)
             labels, threshold = self._extract(ordering, reachability)
+        extras.update(
+            ordering=ordering.tolist(),
+            reachability=reachability.tolist(),
+            threshold=threshold,
+        )
         return ClusteringResult(
             labels=labels,
             runtime_seconds=watch.elapsed_seconds,
-            extras={
-                "ordering": ordering.tolist(),
-                "reachability": reachability.tolist(),
-                "threshold": threshold,
-            },
+            extras=extras,
         )
+
+    @staticmethod
+    def _knn_distance_graph(
+        samples: np.ndarray, k_neighbors: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Union-symmetrized kNN graph with exact gathered ÊD weights.
+
+        Returns ``(offsets, neighbors, distances, n_edges)`` in CSR
+        form with ascending neighbor order per row; ``n_edges`` counts
+        undirected edges.
+        """
+        n = samples.shape[0]
+        nbr = knn_candidate_indices(samples.mean(axis=1), k_neighbors)
+        ii = np.repeat(np.arange(n, dtype=np.int64), nbr.shape[1])
+        jj = nbr.ravel().astype(np.int64)
+        a = np.minimum(ii, jj)
+        b = np.maximum(ii, jj)
+        _, unique_idx = np.unique(a * n + b, return_index=True)
+        a = a[unique_idx]
+        b = b[unique_idx]
+        eds = gathered_pair_expected_distances(samples, a, b)
+        src = np.concatenate([a, b])
+        dst = np.concatenate([b, a])
+        val = np.concatenate([eds, eds])
+        order = np.lexsort((dst, src))
+        src, dst, val = src[order], dst[order], val[order]
+        offsets = np.concatenate(
+            [[0], np.cumsum(np.bincount(src, minlength=n))]
+        ).astype(np.int64)
+        return offsets, dst, val, int(a.size)
 
     def _extract(
         self, ordering: np.ndarray, reachability: np.ndarray

@@ -26,7 +26,6 @@ pruning structures is excluded from the clustering-time measurement.
 
 from __future__ import annotations
 
-import warnings
 from typing import List
 
 import numpy as np
@@ -41,7 +40,7 @@ from repro.clustering.base import (
 )
 from repro.clustering.initialization import random_seed_indices
 from repro.clustering.ukmeans import ukmeans_objective
-from repro.exceptions import ConvergenceWarning, InvalidParameterError
+from repro.exceptions import InvalidParameterError, warn_convergence
 from repro.objects.dataset import UncertainDataset
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
@@ -156,10 +155,8 @@ class _PruningUKMeansBase(SampleCacheMixin, UncertainClusterer):
                     if members.any():
                         centers[c] = sample_means[members].mean(axis=0)
         if not converged:
-            warnings.warn(
-                f"{self.name} hit max_iter={self.max_iter} before convergence",
-                ConvergenceWarning,
-                stacklevel=2,
+            warn_convergence(
+                f"{self.name} hit max_iter={self.max_iter} before convergence"
             )
         total_pairs = ed_computed + ed_pruned
         return ClusteringResult(

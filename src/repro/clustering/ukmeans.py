@@ -13,8 +13,6 @@ paper refers to as plain "UK-means" with O(I·k·n·m) on-line complexity.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro._typing import IntArray, SeedLike
@@ -28,7 +26,7 @@ from repro.clustering.initialization import (
     kmeanspp_seed_indices,
     random_seed_indices,
 )
-from repro.exceptions import ConvergenceWarning, InvalidParameterError
+from repro.exceptions import InvalidParameterError, warn_convergence
 from repro.objects.dataset import UncertainDataset
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
@@ -48,7 +46,19 @@ def _repair_empty_clusters(
     assignment: IntArray,
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, IntArray]:
-    """Reseed any empty cluster with the object farthest from its center."""
+    """Reseed any empty cluster with the object farthest from its center.
+
+    Bounds-interaction invariant (audited for the Elkan/Hamerly scale
+    path): reseeding ``centers[cluster]`` teleports a centroid, which
+    invalidates any distance bound anchored on its previous position
+    beyond drift accounting.  Fast UK-means keeps no bounds, so the
+    in-place reseed here is safe; :class:`~repro.clustering.
+    ukmeans_bounded.BoundedUKMeans` deliberately mirrors
+    :class:`BasicUKMeans` instead — repair moves the victim *object*
+    only (no centroid reseed), and the victim's upper bound is
+    recomputed exactly (`_repair_bounds`), while later centroid motion
+    is covered by actual-displacement drift decay.
+    """
     k = centers.shape[0]
     moves = repair_empty_clusters(assignment, mu, centers, k)
     for cluster, victim in moves:
@@ -134,10 +144,8 @@ class UKMeans(UncertainClusterer):
                     break
                 assignment = new_assignment
         if not converged:
-            warnings.warn(
-                f"UK-means hit max_iter={self.max_iter} before convergence",
-                ConvergenceWarning,
-                stacklevel=2,
+            warn_convergence(
+                f"UK-means hit max_iter={self.max_iter} before convergence"
             )
         return ClusteringResult(
             labels=assignment,

@@ -17,7 +17,6 @@ what Figure 4 of the paper measures.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
 import numpy as np
@@ -32,7 +31,7 @@ from repro.clustering.base import (
 )
 from repro.clustering.initialization import random_seed_indices
 from repro.clustering.ukmeans import ukmeans_objective
-from repro.exceptions import ConvergenceWarning, InvalidParameterError
+from repro.exceptions import InvalidParameterError, warn_convergence
 from repro.objects.dataset import UncertainDataset
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Stopwatch
@@ -107,10 +106,8 @@ class BasicUKMeans(SampleCacheMixin, UncertainClusterer):
                     if members.any():
                         centers[c] = sample_means[members].mean(axis=0)
         if not converged:
-            warnings.warn(
-                f"basic UK-means hit max_iter={self.max_iter} before convergence",
-                ConvergenceWarning,
-                stacklevel=2,
+            warn_convergence(
+                f"basic UK-means hit max_iter={self.max_iter} before convergence"
             )
         return ClusteringResult(
             labels=assignment,

@@ -1,0 +1,436 @@
+"""Triangle-inequality-bounded UK-means: Elkan/Hamerly on uncertain data.
+
+The sample-based expected squared-Euclidean distance decomposes (the
+same identity behind fast UK-means, Eq. (8) of the paper) as
+
+    ED(o_i, c_j) = ||mu_hat_i - c_j||^2 + v_i,
+
+where ``mu_hat_i`` is the object's *sample mean* and ``v_i`` the mean
+squared deviation of its samples around it.  ``v_i`` does not depend on
+the centroid, so the ED argmin per object coincides with the nearest
+centroid on the *sample-mean plane* — a genuine metric space where the
+triangle inequality holds.  That makes the classic accelerated K-means
+bounds applicable verbatim:
+
+* **Elkan** — a per-object upper bound ``ub_i`` on the plane distance
+  to the assigned centroid, a full ``(n, k)`` lower-bound matrix, and a
+  ``k x k`` centroid-centroid distance matrix.  A whole assignment row
+  is skipped when ``ub_i < 0.5 * min_l cc(a_i, l)``; surviving rows
+  prune candidate centroids via ``lb`` and the half-distance test.
+* **Hamerly** — the memory-light variant: one lower bound per object
+  (distance to the second-closest centroid).  Rows failing the combined
+  test recompute in full.
+
+Losslessness: all skip/prune tests use *strict* inequalities on exact
+plane distances, so a centroid that ties the winner is never pruned,
+and every expected distance that is actually compared is computed with
+the literal :class:`BasicUKMeans` Monte-Carlo kernel on the same sample
+tensor — identical arithmetic, identical reduction order, identical
+argmin tie-breaking.  Assignments therefore reproduce
+``BasicUKMeans`` exactly (the 20-seed regression in
+``tests/test_scale_path.py`` pins this, like the pruning family's).
+The only theoretical hazard is ulp-level noise in the Monte-Carlo
+kernel flipping a *near*-tie that the exact plane geometry calls
+strictly — the same accepted hazard class as MinMax-BB/cluster-shift
+bound arithmetic, pinned empirically by the same regression style.
+
+As in the paper's methodology (Section 5.2.2) the time spent building
+and maintaining bound structures is excluded from the clustering-time
+measurement; only expected-distance evaluations and the Lloyd updates
+are timed, which is what makes the skip counters meaningful speedup
+proxies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro._typing import IntArray, SeedLike
+from repro.clustering._repair import repair_empty_clusters
+from repro.clustering._sampling import SampleCacheMixin
+from repro.clustering.base import (
+    ClusteringResult,
+    UncertainClusterer,
+    validate_n_clusters,
+)
+from repro.clustering.initialization import random_seed_indices
+from repro.clustering.ukmeans import ukmeans_objective
+from repro.exceptions import InvalidParameterError, warn_convergence
+from repro.objects.dataset import UncertainDataset
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Stopwatch
+
+
+def _center_to_center(centers: np.ndarray) -> np.ndarray:
+    """Exact ``(k, k)`` centroid-centroid Euclidean distances."""
+    diff = centers[:, None, :] - centers[None, :, :]
+    return np.sqrt(np.einsum("klm,klm->kl", diff, diff))
+
+
+def _half_nearest_other(cc: np.ndarray) -> np.ndarray:
+    """``s_j = 0.5 * min_{l != j} cc(j, l)`` per centroid."""
+    masked = cc.copy()
+    np.fill_diagonal(masked, np.inf)
+    return 0.5 * masked.min(axis=1)
+
+
+class BoundedUKMeans(SampleCacheMixin, UncertainClusterer):
+    """Elkan/Hamerly-bounded basic UK-means (lossless acceleration).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of output clusters ``k``.
+    n_samples:
+        Sample-set cardinality ``S`` per object for the ED integrals.
+    max_iter:
+        Iteration cap ``I``.
+    bounds:
+        ``"elkan"`` — full ``(n, k)`` lower-bound matrix (fewest ED
+        evaluations, O(n*k) bound memory); ``"hamerly"`` — one lower
+        bound per object (O(n) memory, whole-row skip only).
+
+    Notes
+    -----
+    Supports the squared-Euclidean ED only (the decomposition the
+    bounds rely on); for a custom point metric use
+    :class:`BasicUKMeans`.  Assignments match ``BasicUKMeans`` exactly;
+    ``extras["ed_evaluations"]`` / ``extras["ed_skipped"]`` count how
+    many of the ``I * n * k`` expected-distance integrals were actually
+    evaluated versus skipped by the bounds.
+    """
+
+    name = "bUKM-EH"
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_samples: int = 64,
+        max_iter: int = 100,
+        bounds: str = "elkan",
+    ):
+        if n_samples < 1:
+            raise InvalidParameterError(f"n_samples must be >= 1, got {n_samples}")
+        if max_iter < 1:
+            raise InvalidParameterError(f"max_iter must be >= 1, got {max_iter}")
+        if bounds not in ("elkan", "hamerly"):
+            raise InvalidParameterError(
+                f"bounds must be 'elkan' or 'hamerly', got {bounds!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.n_samples = int(n_samples)
+        self.max_iter = int(max_iter)
+        self.bounds = bounds
+        self.name = "bUKM-EH" if bounds == "elkan" else "bUKM-H"
+
+    def fit(self, dataset: UncertainDataset, seed: SeedLike = None) -> ClusteringResult:
+        """Cluster ``dataset``; assignments equal ``BasicUKMeans`` exactly."""
+        n = len(dataset)
+        k = validate_n_clusters(self.n_clusters, n)
+        rng = ensure_rng(seed)
+
+        # Off-line phase: identical draw order to BasicUKMeans.
+        samples = self._draw_samples(dataset, rng)
+        sample_means = samples.mean(axis=1)
+
+        seeds = random_seed_indices(n, k, rng)
+        centers = sample_means[seeds].copy()
+
+        watch = Stopwatch()
+        iterations = 0
+        converged = False
+        assignment = np.full(n, -1, dtype=np.int64)
+        ed_evaluations = 0
+        rows_skipped = 0
+        # Bound state (built after the first full iteration): ``ub`` is
+        # an upper bound on the plane distance to the assigned centroid;
+        # ``lb`` is (n, k) per-centroid lower bounds (Elkan) or (n,)
+        # second-closest lower bounds (Hamerly).
+        ub: Optional[np.ndarray] = None
+        lb: Optional[np.ndarray] = None
+        with watch.running():
+            for iteration in range(self.max_iter):
+                iterations += 1
+                if iteration == 0:
+                    # First iteration is a full pass (bounds need a seed
+                    # state) — the literal BasicUKMeans kernel.
+                    distances = self._expected_distances(samples, centers)
+                    ed_evaluations += n * k
+                    new_assignment = np.argmin(distances, axis=1).astype(np.int64)
+                else:
+                    if self.bounds == "elkan":
+                        new_assignment, n_eds, n_rows_skipped = (
+                            self._elkan_assignment(
+                                samples, sample_means, centers, assignment,
+                                ub, lb, watch,
+                            )
+                        )
+                    else:
+                        new_assignment, n_eds, n_rows_skipped = (
+                            self._hamerly_assignment(
+                                samples, sample_means, centers, assignment,
+                                ub, lb, watch,
+                            )
+                        )
+                    ed_evaluations += n_eds
+                    rows_skipped += n_rows_skipped
+                moves = repair_empty_clusters(
+                    new_assignment, sample_means, centers, k
+                )
+                if moves and ub is not None:
+                    # A repaired victim now belongs to a different
+                    # centroid: its upper bound referred to the old one
+                    # and is invalid — recompute it exactly.  Elkan's
+                    # per-centroid lower bounds are assignment-
+                    # independent and stay valid; Hamerly's single
+                    # second-closest bound is relative to the assigned
+                    # centroid, so reset it to the trivial 0.
+                    self._repair_bounds(
+                        moves, sample_means, centers, ub, lb
+                    )
+                if np.array_equal(new_assignment, assignment):
+                    converged = True
+                    break
+                assignment = new_assignment
+                if iteration == 0:
+                    watch.stop()
+                    plane = self._plane_distances(sample_means, centers)
+                    if self.bounds == "elkan":
+                        lb = plane
+                    else:
+                        second = plane.copy()
+                        second[np.arange(n), assignment] = np.inf
+                        lb = second.min(axis=1)
+                    ub = plane[np.arange(n), assignment].copy()
+                    watch.start()
+                old_centers = centers.copy()
+                for c in range(k):
+                    members = assignment == c
+                    if members.any():
+                        centers[c] = sample_means[members].mean(axis=0)
+                # Bound decay by actual centroid displacement (untimed
+                # bound maintenance, like pruning-structure time in the
+                # pruning family).
+                watch.stop()
+                drift = np.sqrt(
+                    np.einsum(
+                        "km,km->k",
+                        centers - old_centers,
+                        centers - old_centers,
+                    )
+                )
+                if self.bounds == "elkan":
+                    np.maximum(lb - drift[None, :], 0.0, out=lb)
+                else:
+                    np.maximum(lb - drift.max(), 0.0, out=lb)
+                ub += drift[assignment]
+                watch.start()
+        if not converged:
+            warn_convergence(
+                f"{self.name} hit max_iter={self.max_iter} before convergence"
+            )
+        total_pairs = iterations * n * k
+        ed_skipped = total_pairs - ed_evaluations
+        return ClusteringResult(
+            labels=assignment,
+            objective=ukmeans_objective(dataset, assignment),
+            n_iterations=iterations,
+            converged=converged,
+            runtime_seconds=watch.elapsed_seconds,
+            extras={
+                "ed_evaluations": ed_evaluations,
+                "ed_skipped": ed_skipped,
+                "skip_rate": ed_skipped / total_pairs if total_pairs else 0.0,
+                "rows_skipped": rows_skipped,
+                "bounds": self.bounds,
+                "n_samples": self.n_samples,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Assignment steps
+    # ------------------------------------------------------------------
+    def _elkan_assignment(
+        self,
+        samples: np.ndarray,
+        sample_means: np.ndarray,
+        centers: np.ndarray,
+        assignment: IntArray,
+        ub: np.ndarray,
+        lb: np.ndarray,
+        watch: Stopwatch,
+    ) -> Tuple[IntArray, int, int]:
+        """One Elkan-bounded assignment pass.
+
+        Returns ``(new_assignment, ed_evaluations, rows_skipped)``.
+        All comparisons that *prune* are strict, so exact plane ties are
+        never pruned and the surviving argmin (over EDs computed with
+        the BasicUKMeans kernel, pruned entries at +inf) reproduces
+        ``np.argmin`` over the full row.
+        """
+        n, k = sample_means.shape[0], centers.shape[0]
+        watch.stop()
+        cc = _center_to_center(centers)
+        s = _half_nearest_other(cc)
+        s_a = s[assignment]
+        # Whole-row skip: ub strictly inside the half-gap of the
+        # assigned centroid means it is the unique plane argmin.
+        active = ~(ub < s_a)
+        # Tighten ub to the exact plane distance for surviving rows,
+        # then re-test.
+        for j in range(k):
+            rows = np.flatnonzero(active & (assignment == j))
+            if rows.size == 0:
+                continue
+            diff = sample_means[rows] - centers[j]
+            d = np.sqrt(np.einsum("nm,nm->n", diff, diff))
+            ub[rows] = d
+            lb[rows, j] = d
+        active &= ~(ub < s_a)
+        new_assignment = assignment.copy()
+        rows_skipped = int(n - active.sum())
+        ed_evaluations = 0
+        if active.any():
+            act = np.flatnonzero(active)
+            a_act = assignment[act]
+            # Candidate centroids per active row: survive both the
+            # lower-bound and the half-distance tests (strict pruning).
+            cand = lb[act] <= ub[act, None]
+            cand &= 0.5 * cc[a_act] <= ub[act, None]
+            cand[np.arange(act.size), a_act] = True
+            # Refresh surviving lower bounds with exact plane distances
+            # and prune again (still strict).
+            for j in range(k):
+                local = np.flatnonzero(cand[:, j] & (a_act != j))
+                if local.size == 0:
+                    continue
+                rows = act[local]
+                diff = sample_means[rows] - centers[j]
+                d = np.sqrt(np.einsum("nm,nm->n", diff, diff))
+                lb[rows, j] = d
+                cand[local, j] = d <= ub[rows]
+            multi = cand.sum(axis=1) > 1
+            if multi.any():
+                # Exact ED integrals for the surviving candidates —
+                # the literal BasicUKMeans kernel, batched per centroid
+                # (this is the timed clustering work).
+                eds = np.full((act.size, k), np.inf)
+                watch.start()
+                for j in range(k):
+                    local = np.flatnonzero(multi & cand[:, j])
+                    if local.size == 0:
+                        continue
+                    rows = act[local]
+                    diff = samples[rows] - centers[j]
+                    eds[local, j] = np.einsum(
+                        "nsm,nsm->ns", diff, diff
+                    ).mean(axis=1)
+                    ed_evaluations += int(rows.size)
+                watch.stop()
+                local_multi = np.flatnonzero(multi)
+                winners = np.argmin(eds[local_multi], axis=1).astype(np.int64)
+                rows = act[local_multi]
+                new_assignment[rows] = winners
+                # lb holds fresh exact plane distances for every final
+                # candidate, so the new ub is an exact gather.
+                ub[rows] = lb[rows, winners]
+        watch.start()
+        return new_assignment, ed_evaluations, rows_skipped
+
+    def _hamerly_assignment(
+        self,
+        samples: np.ndarray,
+        sample_means: np.ndarray,
+        centers: np.ndarray,
+        assignment: IntArray,
+        ub: np.ndarray,
+        lb: np.ndarray,
+        watch: Stopwatch,
+    ) -> Tuple[IntArray, int, int]:
+        """One Hamerly-bounded assignment pass.
+
+        Rows are either fully skipped (strict plane-geometry guarantee)
+        or recomputed with a full BasicUKMeans ED row — bitwise the
+        Basic argmin on every recomputed row.
+        """
+        n, k = sample_means.shape[0], centers.shape[0]
+        watch.stop()
+        cc = _center_to_center(centers)
+        s = _half_nearest_other(cc)
+        bound = np.maximum(s[assignment], lb)
+        active = ~(ub < bound)
+        for j in range(k):
+            rows = np.flatnonzero(active & (assignment == j))
+            if rows.size == 0:
+                continue
+            diff = sample_means[rows] - centers[j]
+            ub[rows] = np.sqrt(np.einsum("nm,nm->n", diff, diff))
+        active &= ~(ub < bound)
+        new_assignment = assignment.copy()
+        rows_skipped = int(n - active.sum())
+        ed_evaluations = 0
+        if active.any():
+            act = np.flatnonzero(active)
+            watch.start()
+            eds = np.empty((act.size, k))
+            for j in range(k):
+                diff = samples[act] - centers[j]
+                eds[:, j] = np.einsum("nsm,nsm->ns", diff, diff).mean(axis=1)
+            ed_evaluations = int(act.size * k)
+            watch.stop()
+            winners = np.argmin(eds, axis=1).astype(np.int64)
+            new_assignment[act] = winners
+            # Refresh both bounds from exact plane distances.
+            plane = np.empty((act.size, k))
+            for j in range(k):
+                diff = sample_means[act] - centers[j]
+                plane[:, j] = np.sqrt(np.einsum("nm,nm->n", diff, diff))
+            ub[act] = plane[np.arange(act.size), winners]
+            plane[np.arange(act.size), winners] = np.inf
+            lb[act] = plane.min(axis=1)
+        watch.start()
+        return new_assignment, ed_evaluations, rows_skipped
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _repair_bounds(
+        self,
+        moves: List[Tuple[int, int]],
+        sample_means: np.ndarray,
+        centers: np.ndarray,
+        ub: np.ndarray,
+        lb: np.ndarray,
+    ) -> None:
+        """Re-anchor bounds of empty-cluster-repair victims."""
+        for cluster, victim in moves:
+            diff = sample_means[victim] - centers[cluster]
+            ub[victim] = float(np.sqrt(diff @ diff))
+            if self.bounds == "hamerly":
+                lb[victim] = 0.0
+
+    @staticmethod
+    def _plane_distances(
+        sample_means: np.ndarray, centers: np.ndarray
+    ) -> np.ndarray:
+        """Exact ``(n, k)`` sample-mean-plane Euclidean distances."""
+        n, k = sample_means.shape[0], centers.shape[0]
+        out = np.empty((n, k))
+        for j in range(k):
+            diff = sample_means - centers[j]
+            out[:, j] = np.sqrt(np.einsum("nm,nm->n", diff, diff))
+        return out
+
+    def _expected_distances(
+        self, samples: np.ndarray, centers: np.ndarray
+    ) -> np.ndarray:
+        """Full Monte-Carlo ED matrix — the BasicUKMeans kernel."""
+        n = samples.shape[0]
+        k = centers.shape[0]
+        out = np.empty((n, k))
+        for j in range(k):
+            diff = samples - centers[j]
+            out[:, j] = np.einsum("nsm,nsm->ns", diff, diff).mean(axis=1)
+        return out

@@ -30,12 +30,14 @@ All pool backends optionally submit restarts in **in-worker batches**
 task, amortizing per-task pool overhead for sub-ms fits.  Completions
 are still consumed in submission order restart-by-restart, so batching
 never changes the result (see below).  ``batch_size="auto"`` sizes the
-chunks adaptively: the first completed task measures the per-fit
-latency, and the remaining seeds are chunked so one task runs for about
+chunks adaptively: the first completed task with a measurable per-fit
+latency sets the chunk length so one task runs for about
 :data:`ADAPTIVE_TARGET_SECONDS` — sub-ms fits get large chunks, slow
-fits degrade to ``batch_size=1``.  Because consumption stays
-submission-ordered either way, the adaptive policy is bit-identical to
-any fixed chunking.
+fits degrade to ``batch_size=1`` — while tasks finishing below the
+timer resolution only double the chunk length (geometric growth toward
+:data:`ADAPTIVE_MAX_BATCH`, never a blind jump to it).  Because
+consumption stays submission-ordered either way, the adaptive policy
+is bit-identical to any fixed chunking.
 
 Determinism contract
 --------------------
@@ -228,17 +230,25 @@ def _fit_chunk(
     return [clusterer.fit(dataset, seed=s) for s in seeds]
 
 
-def _adaptive_chunk_size(results: Sequence[ClusteringResult]) -> int:
+def _adaptive_chunk_size(
+    results: Sequence[ClusteringResult], current: int = 1
+) -> int:
     """Chunk length targeting ``ADAPTIVE_TARGET_SECONDS`` per pool task.
 
-    The estimate comes from the measured on-line runtime of the first
+    The estimate comes from the measured on-line runtime of the latest
     completed chunk's fits — the latency the batching exists to
-    amortize.  Zero/degenerate measurements (clock granularity) read as
-    "far below the target" and get the maximum chunk.
+    amortize.  Zero/degenerate measurements (clock granularity) carry
+    no magnitude information at all, so they *double* the chunk length
+    rather than jumping to :data:`ADAPTIVE_MAX_BATCH`: a max-size chunk
+    committed on a timer artifact over-schedules up to 64 restarts past
+    an early-stopping decision, while geometric growth reaches the cap
+    within ``log2(ADAPTIVE_MAX_BATCH)`` chunks on genuinely sub-
+    resolution fits and keeps the over-commitment bounded by one
+    doubling.
     """
     per_fit = sum(r.runtime_seconds for r in results) / max(1, len(results))
     if per_fit <= 0.0:
-        return ADAPTIVE_MAX_BATCH
+        return min(ADAPTIVE_MAX_BATCH, max(1, int(current)) * 2)
     return max(1, min(ADAPTIVE_MAX_BATCH, int(ADAPTIVE_TARGET_SECONDS / per_fit)))
 
 
@@ -287,10 +297,13 @@ def _drive_pool(
     the unbatched prefix.
 
     ``batch_size="auto"`` starts with single-seed probe chunks; the
-    first completed chunk yields a per-fit latency estimate and every
-    chunk submitted afterwards is sized by :func:`_adaptive_chunk_size`.
-    Chunk boundaries are invisible to the submission-order consumer, so
-    the adaptive policy returns the exact ``batch_size=1`` prefix.
+    first completed chunk with a *measurable* per-fit latency sizes
+    every chunk submitted afterwards via :func:`_adaptive_chunk_size`,
+    while sub-timer-resolution completions merely double the length
+    (bounding the restarts over-committed past an early-stopping
+    decision).  Chunk boundaries are invisible to the submission-order
+    consumer, so the adaptive policy returns the exact ``batch_size=1``
+    prefix.
 
     Callers pass ``window=n_chunks`` when no early stopping is active
     (everything is submitted upfront and the executor keeps all workers
@@ -317,10 +330,16 @@ def _drive_pool(
     while in_flight:
         chunk_results = in_flight.popleft().result()
         if adaptive:
-            # The first completion (in submission order) fixes the chunk
-            # length for every seed not yet submitted.
-            chunk_len = max(chunk_len, _adaptive_chunk_size(chunk_results))
-            adaptive = False
+            # A measurable completion (in submission order) fixes the
+            # chunk length for every seed not yet submitted; sub-timer-
+            # resolution chunks keep the policy live, growing the length
+            # geometrically until a positive latency lands or the cap
+            # is reached.
+            measured = sum(r.runtime_seconds for r in chunk_results) > 0.0
+            chunk_len = max(
+                chunk_len, _adaptive_chunk_size(chunk_results, chunk_len)
+            )
+            adaptive = not measured and chunk_len < ADAPTIVE_MAX_BATCH
         stopped = False
         for result in chunk_results:
             results.append(result)

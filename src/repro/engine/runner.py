@@ -46,7 +46,7 @@ from repro.engine.backends import (
     validate_batch_size,
 )
 from repro.engine.distances import pinned_pairwise_ed, resolve_pairwise_ed
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, warn_convergence
 from repro.objects.dataset import UncertainDataset
 
 
@@ -377,10 +377,23 @@ class MultiRestartRunner:
             )
             for i, r in enumerate(results)
         ]
+        n_unconverged = sum(1 for r in results if not r.converged)
+        if n_unconverged:
+            # Per-fit warnings raised inside pool workers are swallowed
+            # by the ``processes`` backend (they fire in the child);
+            # one parent-side aggregate keeps non-convergence visible
+            # regardless of backend, and the count below makes it
+            # machine-readable for sweep reports.
+            warn_convergence(
+                f"{n_unconverged} of {len(results)} restarts of "
+                f"{self.clusterer.name} hit their iteration cap before "
+                "convergence"
+            )
         extras = dict(best.extras)
         extras.update(
             n_init=self.n_init,
             best_restart=best_idx,
+            n_unconverged=n_unconverged,
             engine_jobs=self.n_jobs,
             engine_backend=self.backend.name,
             # A pre-constructed backend instance keeps its own chunking

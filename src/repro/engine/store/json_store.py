@@ -15,13 +15,15 @@ rsync-able; for large grids and SQL-side aggregation, prefer
 :class:`~repro.engine.store.sqlite_store.SqliteStore`.
 
 Leases are claim files under ``<store>/leases/`` — one small JSON file
-per leased cell, created with ``O_EXCL`` so the *initial* claim is a
-race-free test-and-set even on shared filesystems.  Stealing an
-expired lease replaces the file (last-writer-wins, best effort: two
-stealers may both think they won, which only duplicates one
-deterministic cell).  Lease files are deleted on release and reaped
-after a finished sweep, so they never participate in the store's
-tree-bytes identity.
+per leased cell.  A claim stages the complete record in a tmp file and
+publishes it with ``os.link`` (atomic create-if-absent; the lease can
+never be observed half-written), so the initial claim is a race-free
+test-and-set even on shared filesystems.  Stealing an expired lease
+first renames the old file away — only one stealer's rename can
+succeed — then links the staged record in, losing cleanly to any
+fresh claim that slipped between the two steps.  Lease files are
+deleted on release and reaped after a finished sweep, so they never
+participate in the store's tree-bytes identity.
 """
 
 from __future__ import annotations
@@ -167,19 +169,43 @@ class JsonStore(ResultStore):
         record = json.dumps(
             {"owner": owner, "expires_at": now + ttl}, sort_keys=True
         )
+        # Stage the complete record, then publish with a hard link:
+        # link() is atomic create-if-absent AND the lease file can never
+        # be observed half-written (the old O_EXCL-then-write protocol
+        # had a window where a rival read the still-empty file, treated
+        # it as torn, and "stole" a lease whose writer also won).
+        staged = path.with_name(f"{path.name}.{uuid.uuid4().hex}.tmp")
+        staged.write_text(record)
         try:
-            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
+            try:
+                os.link(staged, path)
+                return True
+            except FileExistsError:
+                pass
             current = self._read_lease(path)
-            if current is not None:
-                held_by, expires_at = current
-                if held_by != owner and expires_at > now:
-                    return False
-            self._write_lease(path, owner, now + ttl)
-            return True
-        with os.fdopen(fd, "w") as handle:
-            handle.write(record)
-        return True
+            if current is not None and current[0] == owner:
+                # Reentrant claim: extend our own lease.
+                self._write_lease(path, owner, now + ttl)
+                return True
+            if current is not None and current[1] > now:
+                return False
+            # Expired (or unreadable) foreign lease: steal in two atomic
+            # steps.  Only one stealer's rename() of the old file can
+            # succeed, and the follow-up link() still loses cleanly to
+            # any fresh claim that slipped in between the two steps.
+            tomb = path.with_name(f"{path.name}.{uuid.uuid4().hex}.tmp")
+            try:
+                os.rename(path, tomb)
+            except FileNotFoundError:
+                return False  # a rival stole (or the owner released) first
+            os.unlink(tomb)
+            try:
+                os.link(staged, path)
+                return True
+            except FileExistsError:
+                return False
+        finally:
+            os.unlink(staged)
 
     def renew_lease(self, cell: str, owner: str, ttl: float) -> bool:
         import time

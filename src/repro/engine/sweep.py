@@ -108,6 +108,14 @@ SWEEP_SURFACES = ("table2", "table3", "figure4", "figure5")
 #: worker has been dead (or wedged) for most of the ttl.
 DEFAULT_LEASE_TTL = 30.0
 
+#: Smallest accepted lease ttl.  The heartbeat interval is
+#: ``max(ttl / 3, 0.05)`` seconds — below ``3 * 0.05`` the clamped
+#: interval no longer fits three beats inside one ttl, so a healthy
+#: worker's lease can expire between its own renewals and peers would
+#: "reclaim" cells that are actively running.  Rejected eagerly at
+#: claimer construction and at the CLI (``--lease-ttl``).
+MIN_LEASE_TTL = 0.15
+
 
 
 # ----------------------------------------------------------------------
@@ -372,7 +380,20 @@ def _group_scope(config: ExperimentConfig):
 
 
 def _default_worker_id() -> str:
-    """A globally unique lease owner id for one worker process."""
+    """A globally unique lease owner id for one worker process.
+
+    ``host:pid:uuid4-prefix`` — the host/pid prefix makes ids human-
+    attributable in logs, and the 8-hex (32-bit) uuid4 suffix
+    disambiguates workers that *share* a host and pid (sequential
+    reuse after process exit, or several claimers in one process).
+    Collision behavior: two workers would need the same host, the same
+    pid *and* the same 32-bit suffix (probability 2**-32 per such
+    pair); the failure mode is benign for correctness — a same-id pair
+    can renew/release each other's leases, so a cell could run twice,
+    but cell writes are deterministic and idempotent (both writers
+    produce the same bytes).  Uniqueness of the generator is pinned in
+    ``tests/test_sweep.py``.
+    """
     return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
 
 
@@ -387,6 +408,13 @@ class _LeaseClaimer:
     """
 
     def __init__(self, store: ResultStore, owner: str, ttl: float, log):
+        if float(ttl) < MIN_LEASE_TTL:
+            raise InvalidParameterError(
+                f"lease ttl ({ttl}) must be >= {MIN_LEASE_TTL}s: the "
+                "heartbeat interval clamps at 0.05s, and a ttl below "
+                "three beats lets a healthy worker's lease expire "
+                "between its own renewals"
+            )
         self.owner = owner
         self.ttl = float(ttl)
         self.log = log

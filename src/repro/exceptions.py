@@ -8,6 +8,9 @@ need to.
 
 from __future__ import annotations
 
+import sys
+import warnings
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -43,6 +46,33 @@ class NotFittedError(ReproError, RuntimeError):
 
 class ConvergenceWarning(UserWarning):
     """A clustering run hit its iteration cap before converging."""
+
+
+def warn_convergence(message: str) -> None:
+    """Emit a :class:`ConvergenceWarning` once per *fit*, reliably.
+
+    ``warnings.warn`` records each (message, category, lineno) in the
+    calling module's ``__warningregistry__``; under the ``"default"``
+    filter action a second non-converged fit in the same process is then
+    silently deduplicated, while under ``processes`` backends the
+    registry lives in the worker and the warning never reaches the
+    parent at all.  Calling :func:`warnings.warn_explicit` with a fresh
+    registry sidesteps the cross-fit deduplication — every
+    non-converged fit emits exactly one warning — while still honoring
+    the active filters, so ``simplefilter("ignore", ConvergenceWarning)``
+    keeps working.  (Cross-process visibility is handled separately: the
+    multi-restart engine counts non-converged restarts in its extras and
+    re-warns once in the parent.)
+    """
+    frame = sys._getframe(1)
+    warnings.warn_explicit(
+        message,
+        ConvergenceWarning,
+        frame.f_code.co_filename,
+        frame.f_lineno,
+        module=frame.f_globals.get("__name__", "repro"),
+        registry={},
+    )
 
 
 class UnsupportedDistributionError(ReproError, TypeError):

@@ -24,6 +24,8 @@ from repro.clustering import (
     UAHC,
     UCPC,
     BasicUKMeans,
+    BoundedUKMeans,
+    MiniBatchUKMeans,
     MinMaxBB,
     UKMeans,
     UKMedoids,
@@ -53,7 +55,9 @@ def build_algorithm(name: str, n_clusters: int, n_samples: int = 32) -> Uncertai
     name:
         Paper abbreviation (``"UCPC"``, ``"UKM"``, ``"MMV"``, ``"UKmed"``,
         ``"bUKM"``, ``"MinMax-BB"``, ``"VDBiP"``, ``"FDB"``, ``"FOPT"``,
-        ``"UAHC"``).
+        ``"UAHC"``), or one of the scale-path variants added on top of
+        the paper rosters (``"bUKM-EH"`` for bounds-accelerated basic
+        UK-means, ``"MB-UKM"`` for mini-batch UK-means).
     n_clusters:
         Desired cluster count (ignored by FDBSCAN, which discovers it).
     n_samples:
@@ -73,6 +77,10 @@ def build_algorithm(name: str, n_clusters: int, n_samples: int = 32) -> Uncertai
         # algorithms (FDBSCAN, which has no ordering to cut, stays free).
         "FOPT": lambda: FOPTICS(n_samples=n_samples, n_clusters=n_clusters),
         "UAHC": lambda: UAHC(n_clusters),
+        # Scale-path variants (not on any paper roster): bounds-accelerated
+        # basic UK-means (lossless) and mini-batch UK-means (lossy).
+        "bUKM-EH": lambda: BoundedUKMeans(n_clusters, n_samples=n_samples),
+        "MB-UKM": lambda: MiniBatchUKMeans(n_clusters),
     }
     if name not in factories:
         raise InvalidParameterError(

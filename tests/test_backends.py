@@ -202,12 +202,61 @@ class TestBackendInvariance:
         def probe(runtime):
             return [ClusteringResult(labels=[0], runtime_seconds=runtime)]
 
-        # Degenerate (clock-granularity) probes read as "very fast".
-        assert _adaptive_chunk_size(probe(0.0)) == ADAPTIVE_MAX_BATCH
+        # Degenerate (clock-granularity) probes double instead of
+        # jumping to the cap (regression: a 64-seed chunk committed on
+        # a timer artifact over-schedules past an early stop).
+        assert _adaptive_chunk_size(probe(0.0)) == 2
+        assert _adaptive_chunk_size(probe(0.0), current=8) == 16
+        assert (
+            _adaptive_chunk_size(probe(0.0), current=ADAPTIVE_MAX_BATCH)
+            == ADAPTIVE_MAX_BATCH
+        )
         # A fit 1/5th of the target gets a 5-chunk.
         assert _adaptive_chunk_size(probe(ADAPTIVE_TARGET_SECONDS / 5)) == 5
         # Slow fits degrade to unbatched submission.
         assert _adaptive_chunk_size(probe(10.0)) == 1
+
+    def test_adaptive_zero_latency_grows_geometrically(self):
+        """Satellite regression: a stream of zero-latency results keeps
+        the adaptive policy live and the submitted chunk lengths grow
+        1, 2, 4, ... instead of 1 -> ADAPTIVE_MAX_BATCH, so the restarts
+        scheduled past an early-stopping decision stay bounded."""
+        from concurrent.futures import Future
+
+        from repro.clustering.base import ClusteringResult
+        from repro.engine.backends import ADAPTIVE_MAX_BATCH, _drive_pool
+
+        submitted = []
+
+        def submit(chunk):
+            submitted.append(len(chunk))
+            future = Future()
+            future.set_result(
+                [
+                    ClusteringResult(labels=[0], runtime_seconds=0.0)
+                    for _ in chunk
+                ]
+            )
+            return future
+
+        n_seeds = 4 * ADAPTIVE_MAX_BATCH
+        results = _drive_pool(
+            submit,
+            list(range(n_seeds)),
+            early_stopping=None,
+            window=1,
+            batch_size="auto",
+        )
+        assert len(results) == n_seeds
+        # Strict doubling until the cap, then pinned at the cap.
+        growth = [1]
+        while growth[-1] < ADAPTIVE_MAX_BATCH:
+            growth.append(min(ADAPTIVE_MAX_BATCH, growth[-1] * 2))
+        assert submitted[: len(growth)] == growth
+        assert all(
+            size == ADAPTIVE_MAX_BATCH
+            for size in submitted[len(growth) : -1]
+        )
 
     def test_pruning_variant_across_backends(self, data):
         reference = MultiRestartRunner(

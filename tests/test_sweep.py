@@ -486,3 +486,110 @@ class TestReportingIntegration:
         assert artifacts.table2 is outcome.table2
         assert artifacts.figure5 is outcome.figure5
         assert grid.table2 is not None  # paper_grid wiring sanity
+
+
+class TestLeaseTTLEdges:
+    """Edge matrix for the claim/lease protocol's timing parameters."""
+
+    def _prepared_store(self, tmp_path):
+        from repro.engine.store import SWEEP_SCHEMA_VERSION, open_store
+
+        store = open_store(tmp_path / "store")
+        store.prepare(
+            {"schema": SWEEP_SCHEMA_VERSION, "surfaces": {}}, False
+        )
+        return store
+
+    def test_ttl_below_floor_rejected_at_construction(self, tmp_path):
+        from repro.engine.sweep import MIN_LEASE_TTL, _LeaseClaimer
+        from repro.exceptions import InvalidParameterError
+
+        store = self._prepared_store(tmp_path)
+        try:
+            with pytest.raises(InvalidParameterError, match="lease ttl"):
+                _LeaseClaimer(
+                    store, "w1", MIN_LEASE_TTL / 2, lambda msg: None
+                )
+            # The floor itself is accepted.
+            claimer = _LeaseClaimer(
+                store, "w1", MIN_LEASE_TTL, lambda msg: None
+            )
+            claimer.close()
+        finally:
+            store.close()
+
+    def test_ttl_below_floor_rejected_by_cli(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--store", "s", "--lease-ttl", "5"]
+        )
+        assert args.lease_ttl == 5.0
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--store", "s", "--lease-ttl", "0.01"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--store", "s", "--lease-ttl", "soon"])
+
+    def test_heartbeat_thread_does_not_outlive_cell(self, tmp_path):
+        import threading
+
+        from repro.engine.sweep import _LeaseClaimer
+
+        store = self._prepared_store(tmp_path)
+        claimer = _LeaseClaimer(store, "w1", 0.2, lambda msg: None)
+        try:
+            assert claimer.claim("cell--0000000001")
+            with claimer.heartbeat("cell--0000000001"):
+                beats = [
+                    t
+                    for t in threading.enumerate()
+                    if t.name == "sweep-lease-heartbeat"
+                ]
+                assert len(beats) == 1
+            # The context join must reap the thread: a beat thread that
+            # outlives its cell would renew a lease nobody holds.
+            assert not beats[0].is_alive()
+            claimer.release("cell--0000000001")
+            assert not store.active_leases()
+        finally:
+            claimer.close()
+            store.close()
+
+    def test_heartbeat_keeps_short_lease_alive(self, tmp_path):
+        import time
+
+        from repro.engine.sweep import _LeaseClaimer
+
+        store = self._prepared_store(tmp_path)
+        claimer = _LeaseClaimer(store, "w1", 0.2, lambda msg: None)
+        try:
+            assert claimer.claim("cell--0000000001")
+            with claimer.heartbeat("cell--0000000001"):
+                # Several ttls pass; the 0.066s beat keeps renewing, so
+                # a rival can never steal the cell.
+                deadline = time.monotonic() + 0.8
+                while time.monotonic() < deadline:
+                    assert not store.claim_cell(
+                        "cell--0000000001", "rival", 60.0
+                    )
+                    time.sleep(0.1)
+            claimer.release("cell--0000000001")
+            assert store.claim_cell("cell--0000000001", "rival", 60.0)
+        finally:
+            claimer.close()
+            store.close()
+
+    def test_default_worker_id_format_and_uniqueness(self):
+        import os
+        import socket
+
+        from repro.engine.sweep import _default_worker_id
+
+        ids = {_default_worker_id() for _ in range(64)}
+        assert len(ids) == 64  # uuid suffix disambiguates same host:pid
+        host, pid, suffix = next(iter(ids)).rsplit(":", 2)
+        assert host == socket.gethostname()
+        assert pid == str(os.getpid())
+        assert len(suffix) == 8
+        int(suffix, 16)  # hex suffix
